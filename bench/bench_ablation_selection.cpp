@@ -1,0 +1,59 @@
+// Ablation A2 — canonical vs balanced route-selection policy.
+//
+// The canonical fill takes the remaining rotations in offset order and
+// detours in ascending dimension; the balanced fill ranks every remaining
+// candidate by its estimated realized length. Same disjointness guarantee
+// (any subset with distinct first/last dimensions works); this bench
+// quantifies what the cheap greedy ranking buys in container length.
+#include <algorithm>
+#include <iostream>
+
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+
+  util::Table table{{"m", "pairs", "canon avg-longest", "balanced avg-longest",
+                     "canon max", "balanced max", "avg saving %"}};
+  for (unsigned m = 2; m <= 5; ++m) {
+    const core::HhcTopology net{m};
+    const auto pairs = core::sample_pairs(net, 2000, /*seed=*/909);
+
+    double canon_sum = 0;
+    double balanced_sum = 0;
+    std::size_t canon_max = 0;
+    std::size_t balanced_max = 0;
+    for (const auto& [s, t] : pairs) {
+      const auto canon = core::node_disjoint_paths(
+          net, s, t,
+          core::ConstructionOptions{core::DimensionOrdering::kGrayCycle,
+                                    core::RouteSelectionPolicy::kCanonical});
+      const auto balanced = core::node_disjoint_paths(
+          net, s, t,
+          core::ConstructionOptions{core::DimensionOrdering::kGrayCycle,
+                                    core::RouteSelectionPolicy::kBalanced});
+      canon_sum += static_cast<double>(canon.max_length());
+      balanced_sum += static_cast<double>(balanced.max_length());
+      canon_max = std::max(canon_max, canon.max_length());
+      balanced_max = std::max(balanced_max, balanced.max_length());
+    }
+    const double n = static_cast<double>(pairs.size());
+    table.row()
+        .add(static_cast<int>(m))
+        .add(pairs.size())
+        .add(canon_sum / n, 2)
+        .add(balanced_sum / n, 2)
+        .add(canon_max)
+        .add(balanced_max)
+        .add(100.0 * (1.0 - balanced_sum / canon_sum), 1);
+  }
+  table.print(std::cout,
+              "A2: container longest path, canonical vs balanced route "
+              "selection (Gray ordering fixed)");
+  std::cout << "\nExpected shape: modest but consistent savings — most routes "
+               "are forced (all k\nrotations are needed when k >= m+1); the "
+               "policy only bites when detours compete.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment T3 — construction cost: constructive algorithm vs max flow.
+//
+// The paper's algorithmic claim is that the container is built in time
+// polynomial in the *path length* (i.e. independent of N = 2^(2^m + m)),
+// while the generic max-flow alternative must touch the whole network.
+// google-benchmark measures both on the same random pair streams; the
+// closing table prints the per-pair speedup.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "baseline/maxflow_paths.hpp"
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hhc;
+
+void BM_ConstructiveDisjointPaths(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  const core::HhcTopology net{m};
+  const auto pairs = core::sample_pairs(net, 512, 77);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ & 511];
+    benchmark::DoNotOptimize(core::node_disjoint_paths(net, s, t));
+  }
+  state.SetLabel("N=" + std::to_string(net.node_count()));
+}
+BENCHMARK(BM_ConstructiveDisjointPaths)->DenseRange(1, 5)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxflowDisjointPaths(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  const core::HhcTopology net{m};
+  const baseline::MaxflowBaseline exact{net};
+  const auto pairs = core::sample_pairs(net, 64, 77);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ & 63];
+    benchmark::DoNotOptimize(exact.disjoint_paths(s, t));
+  }
+  state.SetLabel("N=" + std::to_string(net.node_count()));
+}
+BENCHMARK(BM_MaxflowDisjointPaths)->DenseRange(1, 3)->Unit(benchmark::kMicrosecond);
+// m = 4 max flow runs for seconds per query; one sample is enough.
+BENCHMARK(BM_MaxflowDisjointPaths)->Arg(4)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void print_speedup_table() {
+  util::Table table{
+      {"m", "constructive us/pair", "maxflow us/pair", "speedup"}};
+  for (unsigned m = 1; m <= 4; ++m) {
+    const core::HhcTopology net{m};
+    const auto pairs = core::sample_pairs(net, 64, 99);
+
+    // Warm up allocators/caches so the first timed call is representative.
+    benchmark::DoNotOptimize(
+        core::node_disjoint_paths(net, pairs[0].s, pairs[0].t));
+
+    util::Stopwatch sw;
+    for (const auto& [s, t] : pairs) {
+      benchmark::DoNotOptimize(core::node_disjoint_paths(net, s, t));
+    }
+    const double constructive_us =
+        sw.micros() / static_cast<double>(pairs.size());
+
+    const baseline::MaxflowBaseline exact{net};
+    const std::size_t flow_queries = m >= 4 ? 3 : pairs.size();
+    sw.reset();
+    for (std::size_t i = 0; i < flow_queries; ++i) {
+      benchmark::DoNotOptimize(exact.disjoint_paths(pairs[i].s, pairs[i].t));
+    }
+    const double maxflow_us = sw.micros() / static_cast<double>(flow_queries);
+
+    table.row()
+        .add(static_cast<int>(m))
+        .add(constructive_us, 2)
+        .add(maxflow_us, 2)
+        .add(maxflow_us / constructive_us, 1);
+  }
+  table.print(std::cout, "\nT3: per-pair construction cost (summary)");
+  std::cout << "Expected shape: the constructive algorithm's cost is flat in "
+               "N; max flow grows\nwith the network and becomes unusable "
+               "beyond m = 4 (the constructive algorithm\nstill runs at m = 5 "
+               "on 2^37 nodes).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_speedup_table();
+  return 0;
+}

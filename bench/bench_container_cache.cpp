@@ -1,0 +1,103 @@
+// Ablation A3 — translation-canonical container cache.
+//
+// Hotspot-style workloads repeat (cluster-difference, positions) triples
+// constantly; the cache exploits the verified translation symmetry to
+// serve them with an O(container) relabel instead of a fresh construction.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/container_cache.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hhc;
+
+void BM_DirectConstruction(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  const core::HhcTopology net{m};
+  // Hotspot: many sources, one destination -> few distinct canonical keys
+  // per (ys, yt) pair, all sharing yt.
+  const auto pairs = core::sample_pairs(net, 256, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ & 255];
+    const core::Node hot = net.encode(net.cluster_of(t), 0);
+    if (s == hot) continue;
+    benchmark::DoNotOptimize(core::node_disjoint_paths(net, s, hot));
+  }
+}
+BENCHMARK(BM_DirectConstruction)->DenseRange(3, 5)->Unit(benchmark::kMicrosecond);
+
+void BM_CachedConstruction(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  const core::HhcTopology net{m};
+  core::ContainerCache cache{net};
+  const auto pairs = core::sample_pairs(net, 256, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ & 255];
+    const core::Node hot = net.encode(net.cluster_of(t), 0);
+    if (s == hot) continue;
+    benchmark::DoNotOptimize(cache.paths(s, hot));
+  }
+  state.SetLabel("entries=" + std::to_string(cache.size()));
+}
+BENCHMARK(BM_CachedConstruction)->DenseRange(3, 5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Summary with a workload that repeats canonical triples heavily.
+  using namespace hhc;
+  util::Table table{{"m", "queries", "direct ms", "cached ms", "speedup",
+                     "hit rate %"}};
+  for (unsigned m = 3; m <= 5; ++m) {
+    const core::HhcTopology net{m};
+    // 64 distinct canonical triples, queried 64x each under translations.
+    std::vector<std::pair<core::Node, core::Node>> queries;
+    util::Xoshiro256 rng{42};
+    for (int base = 0; base < 64; ++base) {
+      const std::uint64_t xdiff = rng.below(net.cluster_count() - 1) + 1;
+      const std::uint64_t ys = rng.below(net.cluster_size());
+      const std::uint64_t yt = rng.below(net.cluster_size());
+      for (int rep = 0; rep < 64; ++rep) {
+        const std::uint64_t a = rng.below(net.cluster_count());
+        queries.emplace_back(net.encode(a, ys), net.encode(a ^ xdiff, yt));
+      }
+    }
+    util::Stopwatch sw;
+    for (const auto& [s, t] : queries) {
+      benchmark::DoNotOptimize(core::node_disjoint_paths(net, s, t));
+    }
+    const double direct_ms = sw.millis();
+    core::ContainerCache cache{net};
+    sw.reset();
+    for (const auto& [s, t] : queries) {
+      benchmark::DoNotOptimize(cache.paths(s, t));
+    }
+    const double cached_ms = sw.millis();
+    table.row()
+        .add(static_cast<int>(m))
+        .add(queries.size())
+        .add(direct_ms, 1)
+        .add(cached_ms, 1)
+        .add(direct_ms / cached_ms, 2)
+        .add(100.0 * static_cast<double>(cache.hits()) /
+                 static_cast<double>(queries.size()),
+             1);
+  }
+  table.print(std::cout, "\nA3: container cache on translation-heavy workload "
+                         "(64 triples x 64 translations)");
+  std::cout << "Expected shape: ~98% hit rate; speedup grows with m since the "
+               "construction cost\nrises while the relabel stays linear in "
+               "the (smaller) output.\n";
+  return 0;
+}

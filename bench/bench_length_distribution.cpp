@@ -1,0 +1,47 @@
+// Experiment F1 — distribution of the container's longest path length.
+//
+// Regenerates the figure plotting percentiles of the longest disjoint path
+// over random node pairs, per m. The series shows the whole distribution
+// hugging the diameter: path diversity is nearly free in length.
+#include <algorithm>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "sim/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace hhc;
+  util::ThreadPool pool;
+
+  util::Table table{{"m", "pairs", "p10", "p50", "p90", "p99", "max",
+                     "diameter"}};
+  for (unsigned m = 2; m <= 5; ++m) {
+    const core::HhcTopology net{m};
+    const std::size_t count = m <= 4 ? 10000 : 4000;
+    const auto pairs = core::sample_pairs(net, count, /*seed=*/2026);
+    const auto measures = core::measure_containers(net, pairs, &pool);
+
+    std::vector<std::uint64_t> longest;
+    longest.reserve(measures.size());
+    for (const auto& meas : measures) longest.push_back(meas.longest);
+    std::sort(longest.begin(), longest.end());
+
+    table.row()
+        .add(static_cast<int>(m))
+        .add(pairs.size())
+        .add(sim::percentile(longest, 0.10))
+        .add(sim::percentile(longest, 0.50))
+        .add(sim::percentile(longest, 0.90))
+        .add(sim::percentile(longest, 0.99))
+        .add(longest.back())
+        .add(static_cast<int>(net.theoretical_diameter()));
+  }
+  table.print(std::cout,
+              "F1: percentiles of the longest disjoint path over random pairs");
+  std::cout << "\nExpected shape: the distribution is tight; even p99 sits "
+               "near the diameter, so\nthe redundancy of m+1 paths costs only "
+               "an additive O(m) in worst-path length.\n";
+  return 0;
+}

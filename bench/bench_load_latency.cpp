@@ -1,0 +1,45 @@
+// Experiment F6 — latency vs offered load (the classic saturation curve).
+//
+// Uniform random traffic is injected over a fixed horizon at increasing
+// rates; the simulator's single-packet-per-link-per-cycle contention model
+// produces the textbook hockey stick: flat latency up to saturation, then
+// queueing blow-up. Reported for the HHC at m = 3 (2048 nodes).
+#include <iostream>
+
+#include "core/routing.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+  const core::HhcTopology net{3};
+  constexpr std::uint64_t kHorizon = 100;
+
+  util::Table table{{"packets", "load (pkts/cycle)", "delivered", "p50 lat",
+                     "p95 lat", "max lat", "drain cycles"}};
+  for (const std::size_t packets : {200u, 1000u, 4000u, 16000u, 64000u}) {
+    sim::NetworkSimulator simulator{net};
+    const auto flows =
+        sim::uniform_random_traffic(net, packets, kHorizon, 99);
+    for (const auto& f : flows) {
+      simulator.inject(core::route(net, f.s, f.t), f.inject_time);
+    }
+    const auto report = simulator.run(1u << 22);
+    table.row()
+        .add(packets)
+        .add(static_cast<double>(packets) / kHorizon, 2)
+        .add(report.delivered)
+        .add(report.latency.p50)
+        .add(report.latency.p95)
+        .add(report.latency.max)
+        .add(static_cast<std::uint64_t>(report.cycles));
+  }
+  table.print(std::cout,
+              "F6 (m=3, 2048 nodes): latency vs offered load, uniform random "
+              "traffic over 100 cycles");
+  std::cout << "\nExpected shape: p50 stays near the average route length at "
+               "low load; the tail\n(p95/max) grows once per-link contention "
+               "sets in — the saturation hockey stick.\n";
+  return 0;
+}

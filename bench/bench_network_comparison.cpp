@@ -1,0 +1,157 @@
+// Experiment T5 — cost/performance comparison of interconnection topologies.
+//
+// The comparison table every hierarchical-network paper includes: for a
+// given connectivity budget (container size kappa), what degree, diameter,
+// and disjoint-path lengths do the hypercube Q_n, the folded hypercube
+// FQ_n, and the hierarchical hypercube HHC(2^m + m) pay? The HHC's selling
+// point is the exponentially smaller degree at matching scale; its price is
+// the larger diameter.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "cube/cube_disjoint.hpp"
+#include "cube/folded.hpp"
+#include "cube/hcn.hpp"
+#include "graph/bfs.hpp"
+#include "graph/vertex_disjoint.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hhc;
+
+struct Row {
+  std::string network;
+  std::uint64_t nodes;
+  unsigned degree;
+  unsigned diameter;
+  double avg_longest;
+  std::size_t max_longest;
+};
+
+template <typename BuildContainer>
+std::pair<double, std::size_t> container_stats(std::uint64_t node_count,
+                                               std::size_t samples,
+                                               std::uint64_t seed,
+                                               BuildContainer&& build) {
+  util::Xoshiro256 rng{seed};
+  double sum = 0;
+  std::size_t worst = 0;
+  std::size_t done = 0;
+  while (done < samples) {
+    const std::uint64_t s = rng.below(node_count);
+    const std::uint64_t t = rng.below(node_count);
+    if (s == t) continue;
+    const std::size_t longest = build(s, t);
+    sum += static_cast<double>(longest);
+    worst = std::max(worst, longest);
+    ++done;
+  }
+  return {sum / static_cast<double>(samples), worst};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSamples = 1500;
+  util::Table table{{"network", "nodes", "degree", "diameter", "avg-longest",
+                     "max-longest"}};
+
+  // Match scale: HHC(m) has 2^(2^m + m) nodes; compare against Q_n / FQ_n
+  // of the same node count n = 2^m + m.
+  for (unsigned m = 2; m <= 4; ++m) {
+    const core::HhcTopology hhc_net{m};
+    const unsigned n = hhc_net.address_bits();
+
+    {
+      const cube::Hypercube q{n};
+      const auto [avg, worst] = container_stats(
+          q.node_count(), kSamples, 100 + m, [&](std::uint64_t s, std::uint64_t t) {
+            std::size_t longest = 0;
+            for (const auto& p : cube::disjoint_paths(q, s, t, n)) {
+              longest = std::max(longest, p.size() - 1);
+            }
+            return longest;
+          });
+      table.row()
+          .add("Q_" + std::to_string(n))
+          .add(q.node_count())
+          .add(static_cast<int>(n))
+          .add(static_cast<int>(n))
+          .add(avg, 2)
+          .add(worst);
+    }
+    {
+      const cube::FoldedHypercube fq{n};
+      const auto [avg, worst] = container_stats(
+          fq.node_count(), kSamples, 200 + m,
+          [&](std::uint64_t s, std::uint64_t t) {
+            std::size_t longest = 0;
+            for (const auto& p : fq.disjoint_paths(s, t)) {
+              longest = std::max(longest, p.size() - 1);
+            }
+            return longest;
+          });
+      table.row()
+          .add("FQ_" + std::to_string(n))
+          .add(fq.node_count())
+          .add(static_cast<int>(fq.degree()))
+          .add(static_cast<int>(fq.theoretical_diameter()))
+          .add(avg, 2)
+          .add(worst);
+    }
+    // HCN(n/2) exists only at even n; its containers come from exact max
+    // flow (no constructive algorithm in this library), so only the small
+    // instance gets container columns.
+    if (n % 2 == 0) {
+      const cube::HierarchicalCubic hcn{n / 2};
+      table.row()
+          .add("HCN(" + std::to_string(n / 2) + ")")
+          .add(hcn.node_count())
+          .add(static_cast<int>(hcn.degree()));
+      if (n / 2 <= 6) {
+        const auto g = hcn.explicit_graph();
+        table.add(static_cast<int>(graph::diameter(g)));
+        const auto [avg, worst] = container_stats(
+            hcn.node_count(), std::min<std::size_t>(kSamples, 300), 400 + m,
+            [&](std::uint64_t s, std::uint64_t t) {
+              std::size_t longest = 0;
+              for (const auto& p : graph::max_vertex_disjoint_paths(
+                       g, static_cast<graph::Vertex>(s),
+                       static_cast<graph::Vertex>(t))) {
+                longest = std::max(longest, p.size() - 1);
+              }
+              return longest;
+            });
+        table.add(avg, 2).add(worst);
+      } else {
+        table.add("-").add("-").add("-");
+      }
+    }
+    {
+      const auto [avg, worst] = container_stats(
+          hhc_net.node_count(), kSamples, 300 + m,
+          [&](std::uint64_t s, std::uint64_t t) {
+            return core::node_disjoint_paths(hhc_net, s, t).max_length();
+          });
+      table.row()
+          .add("HHC(m=" + std::to_string(m) + ")")
+          .add(hhc_net.node_count())
+          .add(static_cast<int>(hhc_net.degree()))
+          .add(static_cast<int>(hhc_net.theoretical_diameter()))
+          .add(avg, 2)
+          .add(worst);
+    }
+  }
+  table.print(std::cout,
+              "T5: topology comparison at equal node count (containers over " +
+                  std::to_string(kSamples) + " random pairs)");
+  std::cout << "\nExpected shape: at equal node count the HHC cuts the degree "
+               "from n (or n+1) to\nm+1 = O(log n); the price is roughly "
+               "doubling path lengths (2^(m+1) vs n).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment T4 — single-path routing quality vs exact shortest paths.
+//
+// The constructive route (Gray-ordered gateway tour) is not always optimal;
+// this table quantifies how close it gets: exhaustive comparison against
+// BFS for m <= 2, sampled for m = 3, 4.
+#include <algorithm>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+
+  util::Table table{{"m", "pairs", "coverage", "optimal %", "avg stretch",
+                     "max extra hops"}};
+  for (unsigned m = 1; m <= 4; ++m) {
+    const core::HhcTopology net{m};
+
+    std::vector<core::PairSample> pairs;
+    const char* coverage = "sampled";
+    if (m <= 2) {
+      for (core::Node s = 0; s < net.node_count(); ++s) {
+        for (core::Node t = 0; t < net.node_count(); ++t) {
+          if (s != t) pairs.push_back({s, t});
+        }
+      }
+      coverage = "exhaustive";
+    } else {
+      pairs = core::sample_pairs(net, m == 3 ? 2000 : 300, /*seed=*/88);
+    }
+
+    std::size_t optimal = 0;
+    std::size_t max_extra = 0;
+    double stretch_sum = 0;
+    for (const auto& [s, t] : pairs) {
+      const std::size_t constructive = core::route(net, s, t).size() - 1;
+      const std::size_t exact = core::bfs_shortest_path(net, s, t).size() - 1;
+      if (constructive == exact) ++optimal;
+      max_extra = std::max(max_extra, constructive - exact);
+      stretch_sum +=
+          static_cast<double>(constructive) / static_cast<double>(exact);
+    }
+    table.row()
+        .add(static_cast<int>(m))
+        .add(pairs.size())
+        .add(coverage)
+        .add(100.0 * static_cast<double>(optimal) /
+                 static_cast<double>(pairs.size()),
+             1)
+        .add(stretch_sum / static_cast<double>(pairs.size()), 3)
+        .add(max_extra);
+  }
+  table.print(std::cout,
+              "T4: constructive single-path route vs exact BFS shortest path");
+  std::cout << "\nExpected shape: the Gray-tour route is optimal for most "
+               "pairs and within a few\nhops otherwise — consistent with the "
+               "2^m + k + O(m) analysis.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment F3 — delivered-message latency in the flit simulator.
+//
+// Compares, under a sweep of random node faults, two ways of moving a
+// message from s to t:
+//   single    : the whole message as one packet over the constructive route
+//               (fails whenever the route hits a fault);
+//   dispersal : m+1 erasure-coded fragments over the disjoint container
+//               (completes when any m fragments arrive).
+// Completion latency for dispersal is the m-th fastest fragment's delivery
+// time; reliability is measured as the fraction of messages completed.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/dispersal.hpp"
+#include "core/fault_routing.hpp"
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+  const core::HhcTopology net{3};
+  constexpr std::size_t kMessages = 400;
+
+  util::Table table{{"faults f", "single ok%", "single p50", "single p95",
+                     "dispersal ok%", "dispersal p50", "dispersal p95"}};
+
+  for (std::size_t f = 0; f <= 2 * net.m(); f += 2) {
+    std::size_t single_ok = 0;
+    std::size_t dispersal_ok = 0;
+    std::vector<std::uint64_t> single_lat;
+    std::vector<std::uint64_t> dispersal_lat;
+    util::Xoshiro256 rng{500 + f};
+
+    const auto pairs = core::sample_pairs(net, kMessages, 7000 + f);
+    for (const auto& [s, t] : pairs) {
+      const auto faults = core::FaultSet::random(net, f, s, t, rng);
+
+      // Single-packet transfer over the deterministic route.
+      {
+        sim::NetworkSimulator simulator{net};
+        simulator.set_faults(faults);
+        simulator.inject(core::route(net, s, t), 0);
+        const auto report = simulator.run();
+        if (report.delivered == 1) {
+          ++single_ok;
+          single_lat.push_back(report.latency.max);
+        }
+      }
+
+      // Dispersal over the disjoint container: completes with any m of m+1.
+      {
+        const std::vector<std::uint8_t> message(64, 0xAB);
+        const auto plan = core::disperse(net, s, t, message);
+        sim::NetworkSimulator simulator{net};
+        simulator.set_faults(faults);
+        for (const auto& frag : plan.fragments) simulator.inject(frag.path, 0);
+        const auto report = simulator.run();
+        if (report.delivered >= net.m()) {
+          ++dispersal_ok;
+          // Completion = m-th smallest fragment latency.
+          std::vector<std::uint64_t> arrivals;
+          for (const auto& p : simulator.packets()) {
+            if (p.delivered) {
+              arrivals.push_back(p.completion_time - p.inject_time);
+            }
+          }
+          std::sort(arrivals.begin(), arrivals.end());
+          dispersal_lat.push_back(arrivals[net.m() - 1]);
+        }
+      }
+    }
+
+    const auto s_sum = sim::summarize(std::move(single_lat));
+    const auto d_sum = sim::summarize(std::move(dispersal_lat));
+    table.row()
+        .add(f)
+        .add(100.0 * static_cast<double>(single_ok) / kMessages, 1)
+        .add(s_sum.p50)
+        .add(s_sum.p95)
+        .add(100.0 * static_cast<double>(dispersal_ok) / kMessages, 1)
+        .add(d_sum.p50)
+        .add(d_sum.p95);
+  }
+  table.print(std::cout,
+              "F3 (m=3): message completion in the flit simulator, " +
+                  std::to_string(kMessages) + " messages per row");
+  std::cout << "\nExpected shape: dispersal completion stays ~100% across the "
+               "fault sweep with\nlatency close to the single-path case "
+               "(longest-of-m paths ~ diameter + O(m));\nsingle-packet "
+               "success decays with f.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment F9 — synthetic traffic patterns on the HHC.
+//
+// One packet per node, all injected at cycle 0, destinations given by the
+// classic patterns. Bit-complement is the HHC's adversarial case (every
+// cluster dimension differs -> full gateway tours and gateway contention);
+// shuffle keeps traffic near-local. The drain time spread quantifies how
+// pattern-sensitive the hierarchical design is.
+#include <iostream>
+
+#include "core/routing.hpp"
+#include "sim/network.hpp"
+#include "sim/patterns.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+
+  for (unsigned m = 2; m <= 3; ++m) {
+    const core::HhcTopology net{m};
+    util::Table table{{"pattern", "flows", "avg hops", "p50 lat", "p95 lat",
+                       "max lat", "drain cycles"}};
+    for (const sim::Pattern p :
+         {sim::Pattern::kShuffle, sim::Pattern::kRotate,
+          sim::Pattern::kReverse, sim::Pattern::kTornado,
+          sim::Pattern::kComplement}) {
+      const auto flows = sim::pattern_traffic(net, p);
+      sim::NetworkSimulator simulator{net};
+      double hops = 0;
+      for (const auto& f : flows) {
+        const auto route = core::route(net, f.s, f.t);
+        hops += static_cast<double>(route.size() - 1);
+        simulator.inject(route, 0);
+      }
+      const auto report = simulator.run();
+      table.row()
+          .add(sim::pattern_name(p))
+          .add(flows.size())
+          .add(hops / static_cast<double>(flows.size()), 2)
+          .add(report.latency.p50)
+          .add(report.latency.p95)
+          .add(report.latency.max)
+          .add(static_cast<std::uint64_t>(report.cycles));
+    }
+    table.print(std::cout, "F9 (m=" + std::to_string(m) +
+                               "): synthetic patterns, one packet per node "
+                               "at cycle 0");
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: shuffle stays near the average route length; "
+               "bit-complement pays\nboth the longest routes (all cluster "
+               "dimensions differ) and the worst gateway\ncontention — the "
+               "drain-time spread is the pattern sensitivity of the HHC.\n";
+  return 0;
+}

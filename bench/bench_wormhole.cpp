@@ -1,0 +1,97 @@
+// Experiment F8 — wormhole switching: virtual channels vs deadlock and
+// latency across a load sweep.
+//
+// Random traffic over source routes. Adaptive wormhole routing over
+// arbitrary source routes has cyclic channel dependencies, so under enough
+// pressure it deadlocks; the experiment locates the deadlock threshold for
+// each VC count (the threshold moves up with V) and reports latency where
+// runs survive. Store-and-forward rows give the reference behavior (no
+// deadlock by construction, higher per-hop cost for multi-flit packets).
+#include <iostream>
+#include <string>
+
+#include "core/routing.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "sim/wormhole.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hhc;
+  const core::HhcTopology net{2};  // 64 nodes: dense enough to contend
+  constexpr std::uint64_t kHorizon = 100;
+  constexpr std::size_t kLength = 8;  // flits per packet
+  constexpr int kTrials = 5;
+
+  util::Table table{{"packets", "VCs", "deadlock runs", "delivered %",
+                     "p50 lat", "p95 lat", "blocked cyc/worm"}};
+
+  for (const std::size_t packets : {100u, 300u, 900u}) {
+    for (unsigned vcs = 1; vcs <= 4; ++vcs) {
+      std::size_t deadlock_runs = 0;
+      std::size_t delivered = 0;
+      double blocked = 0;
+      std::vector<std::uint64_t> p50s;
+      std::vector<std::uint64_t> p95s;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        sim::WormholeConfig config;
+        config.virtual_channels = vcs;
+        config.packet_length = kLength;
+        config.stall_threshold = 1024;
+        sim::WormholeSimulator sim{net, config};
+        const auto flows = sim::uniform_random_traffic(
+            net, packets, kHorizon,
+            static_cast<std::uint64_t>(1000 + trial));
+        for (const auto& f : flows) {
+          sim.inject(core::route(net, f.s, f.t), f.inject_time);
+        }
+        const auto report = sim.run();
+        deadlock_runs += report.deadlock_detected ? 1 : 0;
+        delivered += report.delivered;
+        blocked += report.mean_blocked_cycles;
+        if (report.delivered > 0) {
+          p50s.push_back(report.latency.p50);
+          p95s.push_back(report.latency.p95);
+        }
+      }
+      table.row()
+          .add(packets)
+          .add(static_cast<int>(vcs))
+          .add(std::to_string(deadlock_runs) + "/" + std::to_string(kTrials))
+          .add(100.0 * static_cast<double>(delivered) /
+                   static_cast<double>(packets * kTrials),
+               1)
+          .add(p50s.empty() ? 0 : sim::summarize(p50s).p50)
+          .add(p95s.empty() ? 0 : sim::summarize(p95s).p50)
+          .add(blocked / kTrials, 2);
+    }
+  }
+
+  // Store-and-forward reference (multi-flit packet charged per hop would
+  // scale latency by kLength; shown with 1-flit packets as the baseline).
+  {
+    sim::NetworkSimulator sim{net};
+    const auto flows = sim::uniform_random_traffic(net, 900, kHorizon, 1000);
+    for (const auto& f : flows) {
+      sim.inject(core::route(net, f.s, f.t), f.inject_time);
+    }
+    const auto report = sim.run();
+    table.row()
+        .add(std::size_t{900})
+        .add("SAF")
+        .add("0/1")
+        .add(100.0 * static_cast<double>(report.delivered) / 900.0, 1)
+        .add(report.latency.p50)
+        .add(report.latency.p95)
+        .add(0.0, 2);
+  }
+
+  table.print(std::cout,
+              "F8 (m=2, 64 nodes, 8-flit worms over 100 cycles): virtual "
+              "channels vs deadlock threshold");
+  std::cout << "\nExpected shape: at low load all VC counts survive; as load "
+               "rises, V=1 deadlocks\nfirst and higher V pushes the "
+               "threshold up — the textbook argument for virtual\nchannels. "
+               "Store-and-forward (SAF) never deadlocks.\n";
+  return 0;
+}

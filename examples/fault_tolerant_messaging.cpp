@@ -1,0 +1,72 @@
+// Fault-tolerant messaging: keep routing between two nodes while random
+// nodes fail, using the disjoint-path container as the fail-over set.
+//
+//   ./fault_tolerant_messaging [--m 3] [--faults 3] [--rounds 20] [--seed 1]
+//
+// Each round injects a fresh random fault pattern and reports which of the
+// m+1 paths survive and which path the router selects. With faults <= m the
+// router never fails — the paper's guarantee in action.
+#include <cstdio>
+#include <exception>
+
+#include "core/fault_routing.hpp"
+#include "core/metrics.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace hhc;
+
+  util::Options opts{argc, argv};
+  opts.describe("m", "cluster dimension m in [1,5] (default 3)")
+      .describe("faults", "faulty nodes per round (default m)")
+      .describe("rounds", "number of fault rounds (default 20)")
+      .describe("seed", "RNG seed (default 1)");
+  if (opts.help_requested(
+          "Route around random node faults via the disjoint-path container."))
+    return 0;
+  opts.reject_unknown();
+
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  const auto faults_per_round =
+      static_cast<std::size_t>(opts.get_int("faults", m));
+  const auto rounds = static_cast<std::size_t>(opts.get_int("rounds", 20));
+  util::Xoshiro256 rng{static_cast<std::uint64_t>(opts.get_int("seed", 1))};
+
+  const core::Node s = net.encode(0, 0);
+  const core::Node t =
+      net.encode(net.cluster_count() - 1, net.cluster_size() - 1);
+
+  std::printf("HHC(%u): routing %llu -> %llu with %zu random faults/round\n",
+              net.address_bits(), static_cast<unsigned long long>(s),
+              static_cast<unsigned long long>(t), faults_per_round);
+  std::printf("container: %u node-disjoint paths; guarantee holds for "
+              "faults <= %u\n\n",
+              net.degree(), m);
+
+  std::size_t delivered = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto faults =
+        core::FaultSet::random(net, faults_per_round, s, t, rng);
+    const auto result = core::route_avoiding(net, s, t, faults);
+    if (result.ok()) {
+      ++delivered;
+      std::printf("round %2zu: %zu/%u paths blocked -> delivered over %zu "
+                  "hops\n",
+                  round, result.paths_blocked, net.degree(),
+                  result.path.size() - 1);
+    } else {
+      std::printf("round %2zu: all %u paths blocked -> FAILED (faults > m "
+                  "can cut every path)\n",
+                  round, net.degree());
+    }
+  }
+  std::printf("\ndelivered %zu/%zu rounds", delivered, rounds);
+  if (faults_per_round <= m) std::printf(" (guaranteed: faults <= m)");
+  std::printf("\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

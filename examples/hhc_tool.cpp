@@ -1,0 +1,160 @@
+// hhc_tool — a multi-command CLI over the whole library.
+//
+//   hhc_tool info      --m 3
+//   hhc_tool route     --m 3 --s 0 --t 2047
+//   hhc_tool paths     --m 3 --s 0 --t 2047 [--dot]
+//   hhc_tool faults    --m 3 --s 0 --t 2047 --count 3 --seed 1
+//   hhc_tool broadcast --m 2 --root 0
+//   hhc_tool dot       --m 2
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/broadcast.hpp"
+#include "core/disjoint.hpp"
+#include "core/fault_routing.hpp"
+#include "core/io.hpp"
+#include "core/local_routing.hpp"
+#include "core/metrics.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hhc;
+
+int cmd_info(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  std::printf("HHC(%u)\n", net.address_bits());
+  std::printf("  m                     %u\n", net.m());
+  std::printf("  nodes                 %llu\n",
+              static_cast<unsigned long long>(net.node_count()));
+  std::printf("  clusters              %llu x Q_%u\n",
+              static_cast<unsigned long long>(net.cluster_count()), net.m());
+  std::printf("  degree / connectivity %u\n", net.degree());
+  std::printf("  diameter              %u%s\n", net.theoretical_diameter(),
+              m <= 4 ? " (BFS-verified in tests)" : " (closed form)");
+  std::printf("  disjoint paths/pair   %u\n", net.degree());
+  return 0;
+}
+
+int cmd_route(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  const auto s = static_cast<core::Node>(opts.get_int("s", 0));
+  const auto t = static_cast<core::Node>(
+      opts.get_int("t", static_cast<std::int64_t>(net.node_count() - 1)));
+  const auto path = core::route(net, s, t);
+  std::printf("route (%zu hops): %s\n", path.size() - 1,
+              core::format_path(net, path).c_str());
+  if (m <= 4) {
+    std::printf("exact shortest: %zu hops\n",
+                core::bfs_shortest_path(net, s, t).size() - 1);
+  }
+  return 0;
+}
+
+int cmd_paths(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  const auto s = static_cast<core::Node>(opts.get_int("s", 0));
+  const auto t = static_cast<core::Node>(
+      opts.get_int("t", static_cast<std::int64_t>(net.node_count() - 1)));
+  const auto container = core::node_disjoint_paths(net, s, t);
+  std::string why;
+  if (!core::verify_disjoint_path_set(net, container, s, t, &why)) {
+    std::fprintf(stderr, "internal verification failed: %s\n", why.c_str());
+    return 1;
+  }
+  if (opts.get_bool("dot", false)) {
+    std::fputs(core::container_to_dot(net, container, s, t).c_str(), stdout);
+    return 0;
+  }
+  std::printf("%zu node-disjoint paths (verified):\n", container.paths.size());
+  for (std::size_t i = 0; i < container.paths.size(); ++i) {
+    std::printf("  [%zu] len %-3zu %s\n", i, container.paths[i].size() - 1,
+                core::format_path(net, container.paths[i]).c_str());
+  }
+  return 0;
+}
+
+int cmd_faults(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  const auto s = static_cast<core::Node>(opts.get_int("s", 0));
+  const auto t = static_cast<core::Node>(
+      opts.get_int("t", static_cast<std::int64_t>(net.node_count() - 1)));
+  const auto count = static_cast<std::size_t>(opts.get_int("count", m));
+  util::Xoshiro256 rng{static_cast<std::uint64_t>(opts.get_int("seed", 1))};
+  const auto faults = core::FaultSet::random(net, count, s, t, rng);
+
+  const auto global = core::route_avoiding(net, s, t, faults);
+  std::printf("global container router: %s", global.ok() ? "ok" : "FAILED");
+  if (global.ok()) std::printf(" (%zu hops)", global.path.size() - 1);
+  std::printf(", %zu/%u paths blocked\n", global.paths_blocked, net.degree());
+
+  const auto local = core::local_fault_route(net, s, t, faults);
+  std::printf("local DFS router:        %s", local.ok() ? "ok" : "FAILED");
+  if (local.ok()) std::printf(" (%zu hops)", local.path.size() - 1);
+  std::printf(", %zu backtracks\n", local.backtracks);
+  return 0;
+}
+
+int cmd_broadcast(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 2));
+  const core::HhcTopology net{m};
+  const auto root = static_cast<core::Node>(opts.get_int("root", 0));
+  const auto schedule = core::broadcast_schedule(net, root);
+  if (!core::verify_broadcast_schedule(net, schedule, root)) {
+    std::fprintf(stderr, "schedule verification failed\n");
+    return 1;
+  }
+  std::printf("broadcast from %s: %zu rounds (lower bound %u), %zu messages\n",
+              core::format_node(net, root).c_str(), schedule.round_count(),
+              core::broadcast_lower_bound(net), schedule.message_count());
+  return 0;
+}
+
+int cmd_dot(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 2));
+  std::fputs(core::to_dot(core::HhcTopology{m}).c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "hhc_tool <command> [--option value]...\n"
+      "commands:\n"
+      "  info       network parameters        (--m)\n"
+      "  route      constructive single path  (--m --s --t)\n"
+      "  paths      m+1 disjoint paths        (--m --s --t [--dot])\n"
+      "  faults     route under random faults (--m --s --t --count --seed)\n"
+      "  broadcast  one-to-all schedule       (--m --root)\n"
+      "  dot        whole network as Graphviz (--m, m <= 2)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  const util::Options opts{argc - 1, argv + 1};
+
+  if (command == "info") return cmd_info(opts);
+  if (command == "route") return cmd_route(opts);
+  if (command == "paths") return cmd_paths(opts);
+  if (command == "faults") return cmd_faults(opts);
+  if (command == "broadcast") return cmd_broadcast(opts);
+  if (command == "dot") return cmd_dot(opts);
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  usage();
+  return 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,64 @@
+#include "baseline/maxflow_paths.hpp"
+
+#include <stdexcept>
+
+#include "graph/vertex_disjoint.hpp"
+
+namespace hhc::baseline {
+
+MaxflowBaseline::MaxflowBaseline(const core::HhcTopology& net)
+    : net_{net}, graph_{net.explicit_graph()} {}
+
+core::DisjointPathSet MaxflowBaseline::disjoint_paths(core::Node s,
+                                                      core::Node t) const {
+  if (!net_.contains(s) || !net_.contains(t)) {
+    throw std::invalid_argument("MaxflowBaseline: node out of range");
+  }
+  const auto vertex_paths = graph::max_vertex_disjoint_paths(
+      graph_, static_cast<graph::Vertex>(s), static_cast<graph::Vertex>(t));
+  core::DisjointPathSet set;
+  set.paths.reserve(vertex_paths.size());
+  for (const auto& vp : vertex_paths) {
+    core::Path path;
+    path.reserve(vp.size());
+    for (const graph::Vertex v : vp) path.push_back(v);
+    set.paths.push_back(std::move(path));
+  }
+  return set;
+}
+
+std::vector<core::Path> MaxflowBaseline::one_to_many(
+    core::Node s, std::span<const core::Node> targets) const {
+  if (!net_.contains(s)) {
+    throw std::invalid_argument("MaxflowBaseline: node out of range");
+  }
+  std::vector<graph::Vertex> vertex_targets;
+  vertex_targets.reserve(targets.size());
+  for (const core::Node t : targets) {
+    if (!net_.contains(t)) {
+      throw std::invalid_argument("MaxflowBaseline: target out of range");
+    }
+    vertex_targets.push_back(static_cast<graph::Vertex>(t));
+  }
+  const auto fans = graph::vertex_disjoint_fan(
+      graph_, static_cast<graph::Vertex>(s), vertex_targets);
+  std::vector<core::Path> result;
+  result.reserve(fans.size());
+  for (const auto& vp : fans) {
+    core::Path path;
+    path.reserve(vp.size());
+    for (const graph::Vertex v : vp) path.push_back(v);
+    result.push_back(std::move(path));
+  }
+  return result;
+}
+
+std::size_t MaxflowBaseline::connectivity(core::Node s, core::Node t) const {
+  if (!net_.contains(s) || !net_.contains(t)) {
+    throw std::invalid_argument("MaxflowBaseline: node out of range");
+  }
+  return graph::vertex_connectivity_between(
+      graph_, static_cast<graph::Vertex>(s), static_cast<graph::Vertex>(t));
+}
+
+}  // namespace hhc::baseline

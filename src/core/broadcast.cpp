@@ -1,0 +1,168 @@
+#include "core/broadcast.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hhc::core {
+
+namespace {
+
+// One binomial round: every informed node of every cluster in `clusters`
+// sends across internal dimension i (when the receiver is new).
+void internal_round(const HhcTopology& net, const std::vector<bool>& informed,
+                    const std::vector<std::uint64_t>& clusters, unsigned i,
+                    std::vector<std::pair<Node, Node>>& round,
+                    std::vector<bool>& informed_next) {
+  for (const std::uint64_t x : clusters) {
+    for (std::uint64_t y = 0; y < net.cluster_size(); ++y) {
+      const Node v = net.encode(x, y);
+      if (!informed[v]) continue;
+      const Node u = net.internal_neighbor(v, i);
+      if (!informed[u] && !informed_next[u]) {
+        round.emplace_back(v, u);
+        informed_next[u] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t BroadcastSchedule::message_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : rounds) total += r.size();
+  return total;
+}
+
+BroadcastSchedule broadcast_schedule(const HhcTopology& net, Node root) {
+  if (net.m() > 4) {
+    throw std::invalid_argument("broadcast_schedule: requires m <= 4");
+  }
+  if (!net.contains(root)) {
+    throw std::invalid_argument("broadcast_schedule: bad root");
+  }
+
+  BroadcastSchedule schedule;
+  std::vector<bool> informed(net.node_count(), false);
+  informed[root] = true;
+
+  const auto commit = [&](std::vector<std::pair<Node, Node>> round) {
+    for (const auto& [from, to] : round) {
+      (void)from;
+      informed[to] = true;
+    }
+    if (!round.empty()) schedule.rounds.push_back(std::move(round));
+  };
+
+  // Phase A: binomial broadcast inside the root cluster.
+  std::vector<std::uint64_t> informed_clusters{net.cluster_of(root)};
+  for (unsigned i = 0; i < net.m(); ++i) {
+    std::vector<std::pair<Node, Node>> round;
+    std::vector<bool> fresh(net.node_count(), false);
+    internal_round(net, informed, informed_clusters, i, round, fresh);
+    commit(std::move(round));
+  }
+
+  // Phase B: binomial broadcast over the cluster hypercube. For each
+  // X-dimension j: informed clusters cross via gateway j, then the new
+  // clusters run their own m-round internal binomial broadcast.
+  for (unsigned j = 0; j < net.cluster_dimensions(); ++j) {
+    std::vector<std::pair<Node, Node>> crossing;
+    std::vector<std::uint64_t> fresh_clusters;
+    for (const std::uint64_t x : informed_clusters) {
+      const Node gateway = net.encode(x, j);
+      const Node peer = net.external_neighbor(gateway);
+      if (!informed[peer]) {
+        crossing.emplace_back(gateway, peer);
+        fresh_clusters.push_back(net.cluster_of(peer));
+      }
+    }
+    commit(std::move(crossing));
+
+    for (unsigned i = 0; i < net.m(); ++i) {
+      std::vector<std::pair<Node, Node>> round;
+      std::vector<bool> fresh(net.node_count(), false);
+      internal_round(net, informed, fresh_clusters, i, round, fresh);
+      commit(std::move(round));
+    }
+    informed_clusters.insert(informed_clusters.end(), fresh_clusters.begin(),
+                             fresh_clusters.end());
+  }
+  return schedule;
+}
+
+bool verify_broadcast_schedule(const HhcTopology& net,
+                               const BroadcastSchedule& schedule, Node root) {
+  std::vector<bool> informed(net.node_count(), false);
+  if (!net.contains(root)) return false;
+  informed[root] = true;
+  std::size_t informed_count = 1;
+
+  for (const auto& round : schedule.rounds) {
+    std::unordered_set<Node> senders;
+    std::vector<Node> receivers;
+    for (const auto& [from, to] : round) {
+      if (!net.is_edge(from, to)) return false;      // must use real links
+      if (!informed[from]) return false;             // sender knows the message
+      if (informed[to]) return false;                // no duplicate delivery
+      if (!senders.insert(from).second) return false;  // single-port send
+      receivers.push_back(to);
+    }
+    // Two sends in one round must not target the same receiver.
+    const std::unordered_set<Node> distinct(receivers.begin(), receivers.end());
+    if (distinct.size() != receivers.size()) return false;
+    for (const Node to : receivers) {
+      informed[to] = true;
+      ++informed_count;
+    }
+  }
+  return informed_count == net.node_count();
+}
+
+unsigned broadcast_lower_bound(const HhcTopology& net) {
+  return net.address_bits();  // ceil(log2 N) rounds: doubling at best
+}
+
+BroadcastSchedule reduction_schedule(const HhcTopology& net, Node root) {
+  const auto broadcast = broadcast_schedule(net, root);
+  BroadcastSchedule reduction;
+  reduction.rounds.reserve(broadcast.rounds.size());
+  for (auto it = broadcast.rounds.rbegin(); it != broadcast.rounds.rend();
+       ++it) {
+    std::vector<std::pair<Node, Node>> round;
+    round.reserve(it->size());
+    for (const auto& [from, to] : *it) round.emplace_back(to, from);
+    reduction.rounds.push_back(std::move(round));
+  }
+  return reduction;
+}
+
+bool verify_reduction_schedule(const HhcTopology& net,
+                               const BroadcastSchedule& schedule, Node root) {
+  if (!net.contains(root)) return false;
+  std::vector<std::uint64_t> accumulated(net.node_count(), 1);
+  std::vector<bool> sent(net.node_count(), false);
+  for (const auto& round : schedule.rounds) {
+    std::unordered_set<Node> round_receivers;
+    for (const auto& [from, to] : round) {
+      if (!net.is_edge(from, to)) return false;
+      if (sent[from]) return false;  // single contribution per node
+      if (sent[to]) return false;    // receiver must still be active
+      sent[from] = true;
+      accumulated[to] += accumulated[from];
+      round_receivers.insert(to);
+    }
+    // A node must not both send and receive within one round (single-port).
+    for (const auto& [from, to] : round) {
+      (void)to;
+      if (round_receivers.count(from) > 0) return false;
+    }
+  }
+  if (sent[root]) return false;
+  for (Node v = 0; v < net.node_count(); ++v) {
+    if (v != root && !sent[v]) return false;
+  }
+  return accumulated[root] == net.node_count();
+}
+
+}  // namespace hhc::core

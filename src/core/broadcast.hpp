@@ -1,0 +1,65 @@
+// One-to-all broadcast schedules for the HHC (single-port model).
+//
+// The hierarchical structure makes broadcast a two-level binomial cascade:
+// inform the root cluster with an m-round binomial tree, then for each
+// X-dimension j in order let every informed cluster's gateway j cross its
+// external edge, followed by an m-round binomial re-broadcast inside the
+// newly informed clusters. The schedule is explicit — every round lists
+// its (sender, receiver) pairs — so the tests can verify the single-port
+// constraint, sender-informedness, and exactly-once coverage directly.
+//
+// Round count: m + 2^m * (m + 1), within a small factor of the
+// log2(N) = 2^m + m lower bound; the experiment harness reports the ratio.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace hhc::core {
+
+struct BroadcastSchedule {
+  /// rounds[r] lists the (sender, receiver) transmissions of round r.
+  std::vector<std::vector<std::pair<Node, Node>>> rounds;
+
+  [[nodiscard]] std::size_t round_count() const noexcept {
+    return rounds.size();
+  }
+  /// Total number of transmissions (= N - 1 for a spanning broadcast).
+  [[nodiscard]] std::size_t message_count() const noexcept;
+};
+
+/// Builds the full broadcast schedule from `root`. Materializes an
+/// informed-set over all nodes, so it requires m <= 4.
+[[nodiscard]] BroadcastSchedule broadcast_schedule(const HhcTopology& net,
+                                                   Node root);
+
+/// Validates a schedule against the single-port broadcast rules:
+/// every transmission is an edge, every sender was informed in an earlier
+/// round, no node sends twice in one round, no node is informed twice, and
+/// all N nodes end up informed. Returns true on success.
+[[nodiscard]] bool verify_broadcast_schedule(const HhcTopology& net,
+                                             const BroadcastSchedule& schedule,
+                                             Node root);
+
+/// The information-theoretic lower bound ceil(log2 N) = 2^m + m rounds.
+[[nodiscard]] unsigned broadcast_lower_bound(const HhcTopology& net);
+
+/// All-to-one reduction: the broadcast schedule reversed (children push
+/// partial results up the same spanning tree in reverse round order).
+/// Every non-root node sends exactly once, after all of its subtree has
+/// reported. Requires m <= 4.
+[[nodiscard]] BroadcastSchedule reduction_schedule(const HhcTopology& net,
+                                                   Node root);
+
+/// Validates a reduction schedule by simulating token accumulation: every
+/// transmission is an edge, no node sends twice or sends before its own
+/// receivers are done, the root never sends, and the root's accumulated
+/// count ends at N.
+[[nodiscard]] bool verify_reduction_schedule(const HhcTopology& net,
+                                             const BroadcastSchedule& schedule,
+                                             Node root);
+
+}  // namespace hhc::core

@@ -1,0 +1,42 @@
+#include "core/container_cache.hpp"
+
+#include <stdexcept>
+
+namespace hhc::core {
+
+DisjointPathSet ContainerCache::paths(Node s, Node t) {
+  if (!net_.contains(s) || !net_.contains(t)) {
+    throw std::invalid_argument("ContainerCache: node out of range");
+  }
+  if (s == t) throw std::invalid_argument("ContainerCache: s == t");
+
+  const std::uint64_t xs = net_.cluster_of(s);
+  const Key key{xs ^ net_.cluster_of(t), net_.position_of(s),
+                net_.position_of(t)};
+
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++misses_;
+    // Canonical instance: source cluster 0, destination cluster = xdiff.
+    const Node cs = net_.encode(0, key.ys);
+    const Node ct = net_.encode(key.xdiff, key.yt);
+    it = cache_.emplace(key, node_disjoint_paths(net_, cs, ct)).first;
+  } else {
+    ++hits_;
+  }
+
+  // Translate the canonical container by the source's cluster label.
+  DisjointPathSet result;
+  result.paths.reserve(it->second.paths.size());
+  for (const Path& canonical : it->second.paths) {
+    Path path;
+    path.reserve(canonical.size());
+    for (const Node v : canonical) {
+      path.push_back(net_.encode(net_.cluster_of(v) ^ xs, net_.position_of(v)));
+    }
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+}  // namespace hhc::core

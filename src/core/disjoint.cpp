@@ -1,0 +1,351 @@
+#include "core/disjoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cube/hypercube.hpp"
+#include "graph/vertex_disjoint.hpp"
+#include "util/bitops.hpp"
+
+namespace hhc::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Route selection (cluster level)
+// ---------------------------------------------------------------------------
+
+// Builds the rotation of the Gray-ordered differing dimensions starting at
+// cyclic offset r.
+ClusterRoute rotation_route(const std::vector<unsigned>& dims, std::size_t r) {
+  ClusterRoute route;
+  route.reserve(dims.size());
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    route.push_back(dims[(r + j) % dims.size()]);
+  }
+  return route;
+}
+
+// Builds the detour route e, d_0, ..., d_(k-1), e for e outside D.
+ClusterRoute detour_route(const std::vector<unsigned>& dims, unsigned e) {
+  ClusterRoute route;
+  route.reserve(dims.size() + 2);
+  route.push_back(e);
+  route.insert(route.end(), dims.begin(), dims.end());
+  route.push_back(e);
+  return route;
+}
+
+// Estimated realized length of a cluster route: endpoint walks, one
+// crossing per dimension, and the gateway-to-gateway walks in between.
+std::size_t estimate_route_length(const ClusterRoute& route, std::uint64_t Ys,
+                                  std::uint64_t Yt) {
+  std::size_t length = static_cast<std::size_t>(
+      bits::hamming(Ys, route.front()));
+  length += route.size();
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    length += static_cast<std::size_t>(bits::hamming(route[i], route[i + 1]));
+  }
+  length += static_cast<std::size_t>(bits::hamming(route.back(), Yt));
+  return length;
+}
+
+std::vector<ClusterRoute> select_routes_different_clusters(
+    const HhcTopology& net, const std::vector<unsigned>& dims, unsigned a,
+    unsigned b, RouteSelectionPolicy policy, std::uint64_t Ys,
+    std::uint64_t Yt) {
+  const std::size_t k = dims.size();
+  const std::size_t wanted = net.degree();  // m + 1
+
+  std::unordered_map<unsigned, std::size_t> index_of;
+  for (std::size_t i = 0; i < k; ++i) index_of.emplace(dims[i], i);
+  const bool a_in_d = index_of.count(a) > 0;
+  const bool b_in_d = index_of.count(b) > 0;
+
+  std::vector<ClusterRoute> selected;
+  selected.reserve(wanted);
+  std::vector<bool> rotation_used(k, false);
+  std::unordered_set<unsigned> detour_used;
+
+  const auto push_rotation = [&](std::size_t r) {
+    rotation_used[r] = true;
+    selected.push_back(rotation_route(dims, r));
+  };
+  const auto push_detour = [&](unsigned e) {
+    detour_used.insert(e);
+    selected.push_back(detour_route(dims, e));
+  };
+
+  // Mandatory route leaving s over its external edge (first dimension = a).
+  if (a_in_d) {
+    push_rotation(index_of.at(a));
+  } else {
+    push_detour(a);
+  }
+
+  // Mandatory route entering t over its external edge (last dimension = b).
+  if (b_in_d) {
+    // The rotation starting at the cyclic successor of b ends at b.
+    const std::size_t r_b = (index_of.at(b) + 1) % k;
+    if (!rotation_used[r_b]) push_rotation(r_b);
+  } else if (detour_used.count(b) == 0) {
+    push_detour(b);
+  }
+
+  if (policy == RouteSelectionPolicy::kCanonical) {
+    // Fill with remaining rotations, then detours over agreeing dimensions.
+    for (std::size_t r = 0; r < k && selected.size() < wanted; ++r) {
+      if (!rotation_used[r]) push_rotation(r);
+    }
+    for (unsigned e = 0;
+         e < net.cluster_dimensions() && selected.size() < wanted; ++e) {
+      if (index_of.count(e) > 0 || detour_used.count(e) > 0) continue;
+      push_detour(e);
+    }
+  } else {
+    // Balanced fill: rank every remaining candidate by its estimated
+    // realized length and take the shortest. Disjointness is unaffected —
+    // any subset with distinct firsts/lasts works — only lengths improve.
+    struct Candidate {
+      std::size_t estimate;
+      bool is_rotation;
+      std::size_t index;  // rotation offset or detour dimension
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (rotation_used[r]) continue;
+      candidates.push_back(
+          {estimate_route_length(rotation_route(dims, r), Ys, Yt), true, r});
+    }
+    for (unsigned e = 0; e < net.cluster_dimensions(); ++e) {
+      if (index_of.count(e) > 0 || detour_used.count(e) > 0) continue;
+      candidates.push_back(
+          {estimate_route_length(detour_route(dims, e), Ys, Yt), false, e});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& lhs, const Candidate& rhs) {
+                return std::tie(lhs.estimate, lhs.is_rotation, lhs.index) <
+                       std::tie(rhs.estimate, rhs.is_rotation, rhs.index);
+              });
+    for (const Candidate& c : candidates) {
+      if (selected.size() >= wanted) break;
+      if (c.is_rotation) {
+        push_rotation(c.index);
+      } else {
+        push_detour(static_cast<unsigned>(c.index));
+      }
+    }
+  }
+
+  if (selected.size() != wanted) {
+    throw std::logic_error("route selection produced the wrong count");
+  }
+  return selected;
+}
+
+// ---------------------------------------------------------------------------
+// Realization helpers
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> to_positions(const graph::VertexPath& vp) {
+  return {vp.begin(), vp.end()};
+}
+
+// Same-cluster case: m disjoint paths inside the cluster (exact max flow on
+// Q_m) plus one detour through the three neighboring clusters reachable via
+// the endpoints' external dimensions.
+DisjointPathSet same_cluster_paths(const HhcTopology& net, Node s, Node t) {
+  const unsigned m = net.m();
+  const cube::Hypercube qm{m};
+  const std::uint64_t X = net.cluster_of(s);
+  const auto Ys = static_cast<graph::Vertex>(net.position_of(s));
+  const auto Yt = static_cast<graph::Vertex>(net.position_of(t));
+  const unsigned a = net.gateway_dimension(s);
+  const unsigned b = net.gateway_dimension(t);
+
+  DisjointPathSet result;
+  result.paths.reserve(net.degree());
+
+  // m internally disjoint paths inside the cluster.
+  const auto inner =
+      graph::max_vertex_disjoint_paths(qm.explicit_graph(), Ys, Yt, m);
+  if (inner.size() != m) {
+    throw std::logic_error("cluster connectivity below m");
+  }
+  for (const auto& vp : inner) {
+    Path path;
+    path.reserve(vp.size());
+    for (const graph::Vertex p : vp) path.push_back(net.encode(X, p));
+    result.paths.push_back(std::move(path));
+  }
+
+  // External detour: cross a, walk, cross b, walk, cross a, walk, cross b.
+  // Visits clusters X^2^a, X^2^a^2^b, X^2^b — never X itself — and each
+  // crossing happens at the matching gateway position.
+  const std::uint64_t Ea = bits::pow2(a);
+  const std::uint64_t Eb = bits::pow2(b);
+  Path detour;
+  detour.push_back(s);
+  std::uint64_t cluster = X ^ Ea;
+  detour.push_back(net.encode(cluster, Ys));
+  auto extend_walk = [&](std::uint64_t from, std::uint64_t to) {
+    const auto walk = qm.shortest_path(from, to);
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      detour.push_back(net.encode(cluster, walk[i]));
+    }
+  };
+  extend_walk(Ys, Yt);
+  cluster ^= Eb;
+  detour.push_back(net.encode(cluster, Yt));
+  extend_walk(Yt, Ys);
+  cluster ^= Ea;
+  detour.push_back(net.encode(cluster, Ys));
+  extend_walk(Ys, Yt);
+  cluster ^= Eb;
+  detour.push_back(net.encode(cluster, Yt));  // == t
+  result.paths.push_back(std::move(detour));
+
+  return result;
+}
+
+DisjointPathSet different_cluster_paths(const HhcTopology& net, Node s, Node t,
+                                        ConstructionOptions options) {
+  const unsigned m = net.m();
+  const cube::Hypercube qm{m};
+  const auto cluster_graph = qm.explicit_graph();
+  const std::uint64_t Xs = net.cluster_of(s);
+  const auto Ys = static_cast<graph::Vertex>(net.position_of(s));
+  const auto Yt = static_cast<graph::Vertex>(net.position_of(t));
+  const unsigned a = net.gateway_dimension(s);
+  const unsigned b = net.gateway_dimension(t);
+
+  const auto dims = differing_x_dimensions(net, s, t, options.ordering);
+  const auto routes = select_routes_different_clusters(
+      net, dims, a, b, options.selection, net.position_of(s),
+      net.position_of(t));
+
+  // Exit fan inside cluster Xs: one disjoint walk per route that leaves s
+  // through an internal edge (first dimension != a).
+  std::vector<graph::Vertex> exit_targets;
+  std::vector<graph::Vertex> entry_sources;
+  for (const auto& route : routes) {
+    if (route.front() != a) {
+      exit_targets.push_back(static_cast<graph::Vertex>(route.front()));
+    }
+    if (route.back() != b) {
+      entry_sources.push_back(static_cast<graph::Vertex>(route.back()));
+    }
+  }
+  const auto exit_fans =
+      graph::vertex_disjoint_fan(cluster_graph, Ys, exit_targets);
+  const auto entry_fans =
+      graph::vertex_disjoint_reverse_fan(cluster_graph, entry_sources, Yt);
+
+  DisjointPathSet result;
+  result.paths.reserve(routes.size());
+  std::size_t exit_index = 0;
+  std::size_t entry_index = 0;
+  for (const auto& route : routes) {
+    std::vector<std::uint64_t> exit_walk;
+    if (route.front() == a) {
+      exit_walk = {net.position_of(s)};
+    } else {
+      exit_walk = to_positions(exit_fans[exit_index++]);
+    }
+    std::vector<std::uint64_t> entry_walk;
+    if (route.back() == b) {
+      entry_walk = {net.position_of(t)};
+    } else {
+      entry_walk = to_positions(entry_fans[entry_index++]);
+    }
+    result.paths.push_back(
+        realize_cluster_route(net, Xs, exit_walk, route, entry_walk));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t DisjointPathSet::max_length() const noexcept {
+  std::size_t best = 0;
+  for (const auto& p : paths) best = std::max(best, p.size() - 1);
+  return best;
+}
+
+std::size_t DisjointPathSet::min_length() const noexcept {
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (const auto& p : paths) best = std::min(best, p.size() - 1);
+  return paths.empty() ? 0 : best;
+}
+
+double DisjointPathSet::average_length() const noexcept {
+  if (paths.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& p : paths) total += p.size() - 1;
+  return static_cast<double>(total) / static_cast<double>(paths.size());
+}
+
+std::vector<ClusterRoute> select_cluster_routes(const HhcTopology& net, Node s,
+                                                Node t) {
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("select_cluster_routes: node out of range");
+  }
+  if (net.cluster_of(s) == net.cluster_of(t)) return {};
+  const auto dims = differing_x_dimensions_gray_ordered(net, s, t);
+  return select_routes_different_clusters(
+      net, dims, net.gateway_dimension(s), net.gateway_dimension(t),
+      RouteSelectionPolicy::kCanonical, net.position_of(s),
+      net.position_of(t));
+}
+
+DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
+                                    ConstructionOptions options) {
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("node_disjoint_paths: node out of range");
+  }
+  if (s == t) throw std::invalid_argument("node_disjoint_paths: s == t");
+  return net.cluster_of(s) == net.cluster_of(t)
+             ? same_cluster_paths(net, s, t)
+             : different_cluster_paths(net, s, t, options);
+}
+
+DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
+                                    DimensionOrdering ordering) {
+  return node_disjoint_paths(net, s, t,
+                             ConstructionOptions{ordering,
+                                                 RouteSelectionPolicy::kCanonical});
+}
+
+bool verify_disjoint_path_set(const HhcTopology& net,
+                              const DisjointPathSet& set, Node s, Node t,
+                              std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (set.paths.size() != net.degree()) {
+    return fail("expected " + std::to_string(net.degree()) + " paths, got " +
+                std::to_string(set.paths.size()));
+  }
+  std::unordered_map<Node, std::size_t> owner;
+  for (std::size_t i = 0; i < set.paths.size(); ++i) {
+    const Path& p = set.paths[i];
+    if (!is_valid_path(net, p, s, t)) {
+      return fail("path " + std::to_string(i) + " is not a simple s-t path");
+    }
+    for (const Node v : p) {
+      if (v == s || v == t) continue;
+      const auto [it, inserted] = owner.emplace(v, i);
+      if (!inserted) {
+        return fail("node " + std::to_string(v) + " shared by paths " +
+                    std::to_string(it->second) + " and " + std::to_string(i));
+      }
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,108 @@
+#include "core/dispersal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::core {
+
+std::size_t DispersalPlan::parallel_completion_steps() const {
+  // Completion requires the m fastest fragments; sort path lengths and take
+  // the m-th smallest (index m-1), since one straggler may be dropped.
+  std::vector<std::size_t> lengths;
+  lengths.reserve(fragments.size());
+  for (const auto& f : fragments) lengths.push_back(f.path.size() - 1);
+  std::sort(lengths.begin(), lengths.end());
+  if (lengths.empty()) return 0;
+  const std::size_t needed = lengths.size() - 1;  // m of m+1
+  return lengths[needed == 0 ? 0 : needed - 1];
+}
+
+DispersalPlan disperse(const HhcTopology& net, Node s, Node t,
+                       std::span<const std::uint8_t> message) {
+  const unsigned m = net.m();
+  const auto container = node_disjoint_paths(net, s, t);
+
+  DispersalPlan plan;
+  plan.message_size = message.size();
+  plan.block_size = (message.size() + m - 1) / m;
+  if (plan.block_size == 0) plan.block_size = 1;  // keep parity well-defined
+
+  std::vector<std::uint8_t> parity(plan.block_size, 0);
+  plan.fragments.reserve(m + 1);
+  for (unsigned i = 0; i < m; ++i) {
+    Fragment f;
+    f.index = i;
+    f.block.assign(plan.block_size, 0);
+    const std::size_t begin = i * plan.block_size;
+    const std::size_t end = std::min(message.size(), begin + plan.block_size);
+    for (std::size_t j = begin; j < end; ++j) {
+      f.block[j - begin] = message[j];
+    }
+    for (std::size_t j = 0; j < plan.block_size; ++j) parity[j] ^= f.block[j];
+    f.path = container.paths[i];
+    plan.fragments.push_back(std::move(f));
+  }
+  Fragment p;
+  p.index = m;
+  p.block = std::move(parity);
+  p.path = container.paths[m];
+  plan.fragments.push_back(std::move(p));
+  return plan;
+}
+
+std::vector<std::uint8_t> reassemble(unsigned m, std::size_t block_size,
+                                     std::size_t message_size,
+                                     std::span<const Fragment> received) {
+  std::vector<const Fragment*> by_index(m + 1, nullptr);
+  std::size_t distinct = 0;
+  for (const Fragment& f : received) {
+    if (f.index > m) throw std::invalid_argument("reassemble: bad index");
+    if (f.block.size() != block_size) {
+      throw std::invalid_argument("reassemble: block size mismatch");
+    }
+    if (by_index[f.index] == nullptr) {
+      by_index[f.index] = &f;
+      ++distinct;
+    }
+  }
+  if (distinct < m) {
+    throw std::invalid_argument("reassemble: need at least m fragments");
+  }
+
+  // Recover at most one missing data block from the parity.
+  std::vector<std::uint8_t> recovered;
+  std::size_t missing = m;  // sentinel: nothing missing
+  for (unsigned i = 0; i < m; ++i) {
+    if (by_index[i] == nullptr) {
+      missing = i;
+      break;
+    }
+  }
+  if (missing < m) {
+    if (by_index[m] == nullptr) {
+      throw std::invalid_argument(
+          "reassemble: data block missing and no parity available");
+    }
+    recovered.assign(block_size, 0);
+    for (unsigned i = 0; i <= m; ++i) {
+      if (i == missing || by_index[i] == nullptr) continue;
+      for (std::size_t j = 0; j < block_size; ++j) {
+        recovered[j] ^= by_index[i]->block[j];
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> message;
+  message.reserve(message_size);
+  for (unsigned i = 0; i < m && message.size() < message_size; ++i) {
+    const std::vector<std::uint8_t>& block =
+        i == missing ? recovered : by_index[i]->block;
+    const std::size_t take =
+        std::min(block_size, message_size - message.size());
+    message.insert(message.end(), block.begin(),
+                   block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return message;
+}
+
+}  // namespace hhc::core

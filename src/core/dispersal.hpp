@@ -1,0 +1,50 @@
+// Information dispersal over the disjoint-path container.
+//
+// The second classical application of node-disjoint paths (besides fault
+// tolerance) is parallel transmission: split a message into m data blocks
+// plus one XOR parity block and send each over its own path. Any m of the
+// m+1 fragments reconstruct the message, so the transfer tolerates the loss
+// of a full path while the completion time is governed by the longest path
+// used — which the construction bounds near the diameter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::core {
+
+/// One erasure-coded fragment travelling over one path of the container.
+struct Fragment {
+  std::size_t index = 0;            // 0..m-1 data blocks, m = parity
+  std::vector<std::uint8_t> block;  // padded block payload
+  Path path;                        // the disjoint path carrying it
+};
+
+struct DispersalPlan {
+  std::vector<Fragment> fragments;  // exactly m+1
+  std::size_t message_size = 0;     // original length in bytes
+  std::size_t block_size = 0;       // padded block length
+
+  /// Steps until the last needed fragment arrives if all m+1 are sent:
+  /// with any single loss tolerated, completion needs the m fastest paths.
+  [[nodiscard]] std::size_t parallel_completion_steps() const;
+};
+
+/// Splits `message` into m+1 fragments routed over the disjoint container
+/// from s to t. The message may be empty; blocks are zero-padded.
+[[nodiscard]] DispersalPlan disperse(const HhcTopology& net, Node s, Node t,
+                                     std::span<const std::uint8_t> message);
+
+/// Reconstructs the message from any >= m fragments of a plan with
+/// parameters (m, block_size, message_size). Throws std::invalid_argument
+/// when fewer than m distinct fragments are supplied or sizes disagree.
+[[nodiscard]] std::vector<std::uint8_t> reassemble(
+    unsigned m, std::size_t block_size, std::size_t message_size,
+    std::span<const Fragment> received);
+
+}  // namespace hhc::core

@@ -1,0 +1,45 @@
+#include "core/fault_routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::core {
+
+FaultSet FaultSet::random(const HhcTopology& net, std::size_t count, Node s,
+                          Node t, util::Xoshiro256& rng) {
+  if (count + 2 > net.node_count()) {
+    throw std::invalid_argument("FaultSet::random: too many faults requested");
+  }
+  FaultSet set;
+  while (set.size() < count) {
+    const Node v = rng.below(net.node_count());
+    if (v == s || v == t) continue;
+    set.mark_faulty(v);
+  }
+  return set;
+}
+
+FaultRouteResult route_avoiding(const HhcTopology& net, Node s, Node t,
+                                const FaultSet& faults) {
+  if (faults.is_faulty(s) || faults.is_faulty(t)) {
+    throw std::invalid_argument("route_avoiding: endpoint is faulty");
+  }
+  const auto container = node_disjoint_paths(net, s, t);
+
+  FaultRouteResult result;
+  for (const Path& path : container.paths) {
+    const bool blocked = std::any_of(path.begin(), path.end(), [&](Node v) {
+      return faults.is_faulty(v);
+    });
+    if (blocked) {
+      ++result.paths_blocked;
+      continue;
+    }
+    if (result.path.empty() || path.size() < result.path.size()) {
+      result.path = path;
+    }
+  }
+  return result;
+}
+
+}  // namespace hhc::core

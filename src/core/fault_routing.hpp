@@ -1,0 +1,53 @@
+// Fault-tolerant routing on top of the disjoint-path construction.
+//
+// Because the m+1 constructed paths share no node besides the endpoints, at
+// most one path can be blocked per faulty node: any fault pattern with
+// |F| <= m faulty nodes (excluding the endpoints) leaves at least one path
+// intact. This turns the existential connectivity bound into a concrete
+// one-shot routing guarantee — the property the paper's construction is for.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "core/topology.hpp"
+#include "util/rng.hpp"
+
+namespace hhc::core {
+
+/// A set of faulty (unusable) nodes.
+class FaultSet {
+ public:
+  FaultSet() = default;
+
+  void mark_faulty(Node v) { faulty_.insert(v); }
+  [[nodiscard]] bool is_faulty(Node v) const { return faulty_.count(v) > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return faulty_.size(); }
+  [[nodiscard]] const std::unordered_set<Node>& nodes() const noexcept {
+    return faulty_;
+  }
+
+  /// Uniformly samples `count` distinct faulty nodes, never s or t.
+  static FaultSet random(const HhcTopology& net, std::size_t count, Node s,
+                         Node t, util::Xoshiro256& rng);
+
+ private:
+  std::unordered_set<Node> faulty_;
+};
+
+/// Result of a fault-tolerant routing attempt.
+struct FaultRouteResult {
+  Path path;                    // empty when no fault-free path was found
+  std::size_t paths_blocked = 0;  // how many of the m+1 paths hit a fault
+  [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
+};
+
+/// Routes s -> t avoiding `faults` by constructing the disjoint container
+/// and returning the shortest fault-free member. Guaranteed to succeed when
+/// faults.size() <= m and both endpoints are healthy.
+[[nodiscard]] FaultRouteResult route_avoiding(const HhcTopology& net, Node s,
+                                              Node t, const FaultSet& faults);
+
+}  // namespace hhc::core

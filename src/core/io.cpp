@@ -1,0 +1,92 @@
+#include "core/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hhc::core {
+
+namespace {
+
+std::string binary(std::uint64_t v, unsigned width) {
+  std::string s;
+  s.reserve(width);
+  for (unsigned i = width; i-- > 0;) {
+    s += ((v >> i) & 1) != 0 ? '1' : '0';
+  }
+  return s;
+}
+
+// Graphviz node identifier (plain integer keeps dot happy).
+std::string dot_id(Node v) { return "n" + std::to_string(v); }
+
+}  // namespace
+
+std::string format_node(const HhcTopology& net, Node v) {
+  if (!net.contains(v)) throw std::invalid_argument("format_node: bad node");
+  return "(" + binary(net.cluster_of(v), net.cluster_dimensions()) + "," +
+         binary(net.position_of(v), net.m()) + ")";
+}
+
+std::string format_path(const HhcTopology& net, const Path& path) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << format_node(net, path[i]);
+  }
+  return os.str();
+}
+
+std::string to_dot(const HhcTopology& net) {
+  if (net.m() > 2) {
+    throw std::invalid_argument("to_dot: full-network rendering needs m <= 2");
+  }
+  std::ostringstream os;
+  os << "graph hhc {\n  layout=neato;\n  node [shape=circle, fontsize=9];\n";
+  for (std::uint64_t x = 0; x < net.cluster_count(); ++x) {
+    os << "  subgraph cluster_" << x << " {\n    label=\""
+       << binary(x, net.cluster_dimensions()) << "\";\n";
+    for (std::uint64_t y = 0; y < net.cluster_size(); ++y) {
+      const Node v = net.encode(x, y);
+      os << "    " << dot_id(v) << " [label=\"" << binary(y, net.m())
+         << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (Node v = 0; v < net.node_count(); ++v) {
+    for (unsigned i = 0; i < net.m(); ++i) {
+      const Node u = net.internal_neighbor(v, i);
+      if (u > v) os << "  " << dot_id(v) << " -- " << dot_id(u) << ";\n";
+    }
+    const Node w = net.external_neighbor(v);
+    if (w > v) {
+      os << "  " << dot_id(v) << " -- " << dot_id(w) << " [style=dashed];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string container_to_dot(const HhcTopology& net, const DisjointPathSet& set,
+                             Node s, Node t) {
+  std::ostringstream os;
+  os << "graph container {\n  node [shape=circle, fontsize=9];\n  "
+     << dot_id(s) << " [label=\"" << format_node(net, s)
+     << "\", shape=doublecircle];\n  " << dot_id(t) << " [label=\""
+     << format_node(net, t) << "\", shape=doublecircle];\n";
+  for (std::size_t i = 0; i < set.paths.size(); ++i) {
+    const Path& p = set.paths[i];
+    for (const Node v : p) {
+      if (v == s || v == t) continue;
+      os << "  " << dot_id(v) << " [label=\"" << format_node(net, v)
+         << "\"];\n";
+    }
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      os << "  " << dot_id(p[j]) << " -- " << dot_id(p[j + 1])
+         << " [colorscheme=set19, color=" << (i % 9) + 1 << "];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,31 @@
+// Human-readable and Graphviz renderings of HHC nodes, paths, and
+// disjoint-path containers — used by the examples, debugging, and anyone
+// who wants to *see* the construction.
+#pragma once
+
+#include <string>
+
+#include "core/disjoint.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::core {
+
+/// "(X,Y)" with both fields in binary, e.g. "(0110,01)".
+[[nodiscard]] std::string format_node(const HhcTopology& net, Node v);
+
+/// "(X,Y) -> (X,Y) -> ..." with one entry per hop.
+[[nodiscard]] std::string format_path(const HhcTopology& net, const Path& path);
+
+/// The whole network as a Graphviz `graph` (requires m <= 2 to stay
+/// readable/tractable). Clusters are rendered as subgraph clusters;
+/// external edges are drawn dashed.
+[[nodiscard]] std::string to_dot(const HhcTopology& net);
+
+/// Only the container: the union of the given disjoint paths, one color
+/// class per path (edge attribute "color=<i>"), endpoints double-circled.
+/// Works for any m since only the container's nodes are emitted.
+[[nodiscard]] std::string container_to_dot(const HhcTopology& net,
+                                           const DisjointPathSet& set, Node s,
+                                           Node t);
+
+}  // namespace hhc::core

@@ -1,0 +1,86 @@
+#include "core/local_routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/routing.hpp"
+
+namespace hhc::core {
+
+std::size_t distance_heuristic(const HhcTopology& net, Node v, Node t) {
+  const auto crossings = static_cast<std::size_t>(
+      bits::popcount(net.cluster_of(v) ^ net.cluster_of(t)));
+  const auto internal = static_cast<std::size_t>(
+      bits::hamming(net.position_of(v), net.position_of(t)));
+  return crossings + internal;
+}
+
+LocalRouteResult local_fault_route(const HhcTopology& net, Node s, Node t,
+                                   const FaultSet& faults,
+                                   std::size_t max_steps) {
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("local_fault_route: node out of range");
+  }
+  if (faults.is_faulty(s) || faults.is_faulty(t)) {
+    throw std::invalid_argument("local_fault_route: endpoint is faulty");
+  }
+
+  LocalRouteResult result;
+  if (s == t) {
+    result.path = {s};
+    return result;
+  }
+
+  // DFS frame: the node plus its not-yet-tried neighbors (best last, so
+  // pop_back yields the greedy choice).
+  struct Frame {
+    Node node;
+    std::vector<Node> untried;
+  };
+
+  // Greedy order by the constructive route-length estimate — a quantity
+  // any switch can compute from the (deterministic) topology alone, no
+  // global fault knowledge involved.
+  const auto make_frame = [&](Node v) {
+    Frame frame{v, net.neighbors(v)};
+    std::sort(frame.untried.begin(), frame.untried.end(),
+              [&](Node lhs, Node rhs) {
+                const auto hl = route_length(net, lhs, t);
+                const auto hr = route_length(net, rhs, t);
+                return hl != hr ? hl > hr : lhs > rhs;  // best last
+              });
+    return frame;
+  };
+
+  std::unordered_set<Node> visited{s};
+  std::vector<Frame> stack{make_frame(s)};
+
+  while (!stack.empty()) {
+    if (max_steps != 0 && result.steps >= max_steps) break;
+    Frame& top = stack.back();
+    if (top.untried.empty()) {
+      // Dead end: backtrack. The node stays visited (a switch would mark
+      // the packet's header), so the walk cannot cycle.
+      stack.pop_back();
+      if (!stack.empty()) ++result.backtracks;
+      continue;
+    }
+    const Node next = top.untried.back();
+    top.untried.pop_back();
+    if (visited.count(next) > 0 || faults.is_faulty(next)) continue;
+    ++result.steps;
+    visited.insert(next);
+    if (next == t) {
+      result.path.reserve(stack.size() + 1);
+      for (const Frame& frame : stack) result.path.push_back(frame.node);
+      result.path.push_back(t);
+      return result;
+    }
+    stack.push_back(make_frame(next));
+  }
+  return result;  // failure: path stays empty
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,45 @@
+// Distributed fault-tolerant routing with local knowledge only.
+//
+// The container router (fault_routing.hpp) assumes the source knows the
+// whole fault set. This module models what a deployed switch can actually
+// do: at each node the packet sees which of the m+1 neighbors are faulty
+// and nothing else, and carries a visited set to avoid cycles. Routing is
+// greedy by a distance heuristic with depth-first backtracking.
+//
+// Guarantee inherited from the paper's connectivity result: with at most
+// m faulty nodes the network stays connected (connectivity m+1), so the
+// DFS always reaches t when given enough budget — at the price of a
+// possibly longer path. Experiment F7 quantifies that price against the
+// global-knowledge container router.
+#pragma once
+
+#include <cstddef>
+
+#include "core/fault_routing.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::core {
+
+struct LocalRouteResult {
+  Path path;                  // empty on failure
+  std::size_t backtracks = 0; // hops undone by dead ends
+  std::size_t steps = 0;      // total node expansions
+  [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
+};
+
+/// Lower-bound distance heuristic used by the greedy order:
+/// popcount(Xv ^ Xt) external crossings + H(Yv, Yt) internal corrections.
+[[nodiscard]] std::size_t distance_heuristic(const HhcTopology& net, Node v,
+                                             Node t);
+
+/// Greedy DFS routing from s to t avoiding `faults`, expanding at most
+/// `max_steps` nodes (0 = unlimited). Neighbors are tried in increasing
+/// heuristic order; visited nodes are never re-entered, so the walk
+/// terminates and, when the fault-free graph is connected and the budget
+/// suffices, succeeds.
+[[nodiscard]] LocalRouteResult local_fault_route(const HhcTopology& net,
+                                                 Node s, Node t,
+                                                 const FaultSet& faults,
+                                                 std::size_t max_steps = 0);
+
+}  // namespace hhc::core

@@ -1,0 +1,124 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace hhc::core {
+
+namespace {
+
+constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+
+void require_explicit_scale(const HhcTopology& net, const char* what) {
+  if (net.m() > 4) {
+    throw std::invalid_argument(std::string{what} +
+                                ": requires m <= 4 (dense BFS)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const HhcTopology& net, Node source) {
+  require_explicit_scale(net, "bfs_distances");
+  if (!net.contains(source)) {
+    throw std::invalid_argument("bfs_distances: source out of range");
+  }
+  std::vector<std::uint32_t> dist(net.node_count(), kUnset);
+  std::queue<Node> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Node v = frontier.front();
+    frontier.pop();
+    const std::uint32_t dv = dist[v];
+    for (unsigned i = 0; i < net.m(); ++i) {
+      const Node u = bits::flip(v, i);
+      if (dist[u] == kUnset) {
+        dist[u] = dv + 1;
+        frontier.push(u);
+      }
+    }
+    const Node w = net.external_neighbor(v);
+    if (dist[w] == kUnset) {
+      dist[w] = dv + 1;
+      frontier.push(w);
+    }
+  }
+  return dist;
+}
+
+Path bfs_shortest_path(const HhcTopology& net, Node s, Node t) {
+  require_explicit_scale(net, "bfs_shortest_path");
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("bfs_shortest_path: node out of range");
+  }
+  if (s == t) return {s};
+  std::vector<Node> parent(net.node_count(), static_cast<Node>(-1));
+  std::vector<bool> seen(net.node_count(), false);
+  std::queue<Node> frontier;
+  seen[s] = true;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const Node v = frontier.front();
+    frontier.pop();
+    for (const Node u : net.neighbors(v)) {
+      if (seen[u]) continue;
+      seen[u] = true;
+      parent[u] = v;
+      if (u == t) {
+        Path path{t};
+        for (Node w = t; w != s;) {
+          w = parent[w];
+          path.push_back(w);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(u);
+    }
+  }
+  return {};  // unreachable cannot happen: HHC is connected
+}
+
+unsigned exact_diameter(const HhcTopology& net) {
+  require_explicit_scale(net, "exact_diameter");
+  unsigned best = 0;
+  for (std::uint64_t y = 0; y < net.cluster_size(); ++y) {
+    const auto dist = bfs_distances(net, net.encode(0, y));
+    for (const std::uint32_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+std::vector<PairSample> sample_pairs(const HhcTopology& net, std::size_t count,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<PairSample> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const Node s = rng.below(net.node_count());
+    const Node t = rng.below(net.node_count());
+    if (s != t) pairs.push_back({s, t});
+  }
+  return pairs;
+}
+
+std::vector<ContainerMeasurement> measure_containers(
+    const HhcTopology& net, const std::vector<PairSample>& pairs,
+    util::ThreadPool* pool) {
+  std::vector<ContainerMeasurement> out(pairs.size());
+  const auto measure_one = [&](std::size_t i) {
+    const auto set = node_disjoint_paths(net, pairs[i].s, pairs[i].t);
+    out[i] = ContainerMeasurement{set.max_length(), set.min_length(),
+                                  set.average_length()};
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, pairs.size(), measure_one);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) measure_one(i);
+  }
+  return out;
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,56 @@
+// Exact and sampled structural metrics of the hierarchical hypercube.
+//
+// Exact BFS-based quantities (distances, diameter) are feasible up to m = 4
+// (2^20 nodes); beyond that the implicit constructions are the only option,
+// which is precisely the regime the paper's constructive algorithm targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "core/topology.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hhc::core {
+
+/// BFS distances from `source` to every node, indexed by node id.
+/// Requires m <= 4 (dense distance array).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const HhcTopology& net,
+                                                       Node source);
+
+/// Exact shortest path via BFS with early exit; requires m <= 4.
+[[nodiscard]] Path bfs_shortest_path(const HhcTopology& net, Node s, Node t);
+
+/// Exact diameter. Cluster labels act on the HHC by XOR translation
+/// (an automorphism), so eccentricities only depend on the position Y of
+/// the source: 2^m BFS runs suffice. Requires m <= 4.
+[[nodiscard]] unsigned exact_diameter(const HhcTopology& net);
+
+/// A sampled s-t pair for the experiment harnesses.
+struct PairSample {
+  Node s = 0;
+  Node t = 0;
+};
+
+/// Uniformly sampled distinct node pairs (deterministic in `seed`).
+[[nodiscard]] std::vector<PairSample> sample_pairs(const HhcTopology& net,
+                                                   std::size_t count,
+                                                   std::uint64_t seed);
+
+/// Per-pair measurements of one constructed disjoint-path container.
+struct ContainerMeasurement {
+  std::size_t longest = 0;   // edges on the longest of the m+1 paths
+  std::size_t shortest = 0;  // edges on the shortest path of the container
+  double average = 0.0;      // mean edges over the m+1 paths
+};
+
+/// Builds the disjoint-path container for every sampled pair and records
+/// its length statistics. Runs on `pool` when provided (one task per
+/// block of pairs), sequentially otherwise.
+[[nodiscard]] std::vector<ContainerMeasurement> measure_containers(
+    const HhcTopology& net, const std::vector<PairSample>& pairs,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace hhc::core

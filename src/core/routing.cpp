@@ -1,0 +1,195 @@
+#include "core/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "cube/gray.hpp"
+#include "cube/hypercube.hpp"
+
+namespace hhc::core {
+
+namespace {
+
+// Appends the intra-cluster walk from `from` to `to` (positions), skipping
+// the first position (assumed already emitted), as nodes of `cluster`.
+void append_walk(const HhcTopology& net, const cube::Hypercube& qm,
+                 std::uint64_t cluster, std::uint64_t from, std::uint64_t to,
+                 Path& out) {
+  const auto walk = qm.shortest_path(from, to);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    out.push_back(net.encode(cluster, walk[i]));
+  }
+}
+
+}  // namespace
+
+Path realize_cluster_route(const HhcTopology& net, std::uint64_t start_cluster,
+                           std::span<const std::uint64_t> exit_walk,
+                           std::span<const unsigned> xdims,
+                           std::span<const std::uint64_t> entry_walk) {
+  if (xdims.empty()) {
+    throw std::invalid_argument("realize_cluster_route: empty route");
+  }
+  if (exit_walk.empty() || entry_walk.empty()) {
+    throw std::invalid_argument("realize_cluster_route: empty end walk");
+  }
+  if (exit_walk.back() != xdims.front()) {
+    throw std::invalid_argument(
+        "realize_cluster_route: exit walk does not reach the first gateway");
+  }
+  if (entry_walk.front() != xdims.back()) {
+    throw std::invalid_argument(
+        "realize_cluster_route: entry walk does not start at the last gateway");
+  }
+
+  const cube::Hypercube qm{net.m()};
+  Path path;
+  std::uint64_t cluster = start_cluster;
+
+  // Walk inside the start cluster to the first gateway.
+  for (const std::uint64_t pos : exit_walk) path.push_back(net.encode(cluster, pos));
+
+  for (std::size_t i = 0; i < xdims.size(); ++i) {
+    const unsigned d = xdims[i];
+    if (d >= net.cluster_dimensions()) {
+      throw std::invalid_argument("realize_cluster_route: bad X-dimension");
+    }
+    // Cross the external edge at gateway position d.
+    cluster ^= bits::pow2(d);
+    path.push_back(net.encode(cluster, d));
+    if (i + 1 < xdims.size()) {
+      // Walk to the next gateway inside this intermediate cluster.
+      append_walk(net, qm, cluster, d, xdims[i + 1], path);
+    }
+  }
+
+  // Walk inside the final cluster to the destination position.
+  for (std::size_t i = 1; i < entry_walk.size(); ++i) {
+    path.push_back(net.encode(cluster, entry_walk[i]));
+  }
+  return path;
+}
+
+std::vector<unsigned> differing_x_dimensions(const HhcTopology& net, Node s,
+                                             Node t,
+                                             DimensionOrdering ordering) {
+  const std::uint64_t xdiff = net.cluster_of(s) ^ net.cluster_of(t);
+  std::vector<std::uint64_t> dims;
+  for (unsigned d = 0; d < net.cluster_dimensions(); ++d) {
+    if (bits::test(xdiff, d)) dims.push_back(d);
+  }
+  if (ordering == DimensionOrdering::kGrayCycle) {
+    dims = cube::order_along_gray_cycle(std::move(dims));
+  }  // kAscending: the scan above already produced ascending order.
+  std::vector<unsigned> result;
+  result.reserve(dims.size());
+  for (const std::uint64_t d : dims) result.push_back(static_cast<unsigned>(d));
+  return result;
+}
+
+std::vector<unsigned> differing_x_dimensions_gray_ordered(
+    const HhcTopology& net, Node s, Node t) {
+  return differing_x_dimensions(net, s, t, DimensionOrdering::kGrayCycle);
+}
+
+namespace {
+
+// The cheapest rotation (either direction) of the Gray-ordered differing
+// dimensions, with its realized length: endpoint walks + one crossing per
+// dimension + gateway-to-gateway walks.
+struct BestSequence {
+  std::vector<unsigned> dims;
+  std::size_t cost = 0;
+};
+
+BestSequence best_cluster_sequence(const HhcTopology& net, Node s, Node t) {
+  const std::uint64_t Ys = net.position_of(s);
+  const std::uint64_t Yt = net.position_of(t);
+  const auto gray_dims = differing_x_dimensions_gray_ordered(net, s, t);
+  const std::size_t k = gray_dims.size();
+
+  const auto cost_of = [&](const std::vector<unsigned>& seq) {
+    std::size_t cost =
+        static_cast<std::size_t>(bits::hamming(Ys, seq.front()));
+    cost += seq.size();  // one external crossing per dimension
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      cost += static_cast<std::size_t>(bits::hamming(seq[i], seq[i + 1]));
+    }
+    cost += static_cast<std::size_t>(bits::hamming(seq.back(), Yt));
+    return cost;
+  };
+
+  BestSequence best;
+  best.cost = std::numeric_limits<std::size_t>::max();
+  for (int dir = 0; dir < 2; ++dir) {
+    for (std::size_t r = 0; r < k; ++r) {
+      std::vector<unsigned> seq;
+      seq.reserve(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t idx = dir == 0 ? (r + j) % k : (r + k - j) % k;
+        seq.push_back(gray_dims[idx]);
+      }
+      const std::size_t cost = cost_of(seq);
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.dims = std::move(seq);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Path route(const HhcTopology& net, Node s, Node t) {
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("route: node out of range");
+  }
+  if (s == t) return {s};
+
+  const cube::Hypercube qm{net.m()};
+  const std::uint64_t Ys = net.position_of(s);
+  const std::uint64_t Yt = net.position_of(t);
+
+  if (net.cluster_of(s) == net.cluster_of(t)) {
+    Path path;
+    path.push_back(s);
+    append_walk(net, qm, net.cluster_of(s), Ys, Yt, path);
+    return path;
+  }
+
+  const auto best = best_cluster_sequence(net, s, t);
+  const auto exit_walk = qm.shortest_path(Ys, best.dims.front());
+  const auto entry_walk = qm.shortest_path(best.dims.back(), Yt);
+  return realize_cluster_route(net, net.cluster_of(s), exit_walk, best.dims,
+                               entry_walk);
+}
+
+std::size_t route_length(const HhcTopology& net, Node s, Node t) {
+  if (!net.contains(s) || !net.contains(t)) {
+    throw std::invalid_argument("route_length: node out of range");
+  }
+  if (s == t) return 0;
+  if (net.cluster_of(s) == net.cluster_of(t)) {
+    return static_cast<std::size_t>(
+        bits::hamming(net.position_of(s), net.position_of(t)));
+  }
+  return best_cluster_sequence(net, s, t).cost;
+}
+
+bool is_valid_path(const HhcTopology& net, const Path& path, Node s, Node t) {
+  if (path.empty() || path.front() != s || path.back() != t) return false;
+  std::unordered_set<Node> seen;
+  for (const Node v : path) {
+    if (!net.contains(v)) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!net.is_edge(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,85 @@
+#include "core/topology.hpp"
+
+#include <stdexcept>
+
+namespace hhc::core {
+
+HhcTopology::HhcTopology(unsigned m) : m_{m}, xbits_{1u << m} {
+  if (m == 0 || m > 5) {
+    throw std::invalid_argument(
+        "HhcTopology: m must be in [1, 5] (addresses are 64-bit)");
+  }
+}
+
+Node HhcTopology::encode(std::uint64_t cluster, std::uint64_t position) const {
+  if (cluster >= cluster_count()) {
+    throw std::invalid_argument("HhcTopology::encode: cluster out of range");
+  }
+  if (position >= cluster_size()) {
+    throw std::invalid_argument("HhcTopology::encode: position out of range");
+  }
+  return (cluster << m_) | position;
+}
+
+Node HhcTopology::internal_neighbor(Node v, unsigned i) const {
+  if (!contains(v)) throw std::invalid_argument("internal_neighbor: bad node");
+  if (i >= m_) throw std::invalid_argument("internal_neighbor: bad dimension");
+  return bits::flip(v, i);
+}
+
+Node HhcTopology::external_neighbor(Node v) const {
+  if (!contains(v)) throw std::invalid_argument("external_neighbor: bad node");
+  const unsigned xdim = gateway_dimension(v);
+  return bits::flip(v, m_ + xdim);
+}
+
+std::vector<Node> HhcTopology::neighbors(Node v) const {
+  if (!contains(v)) throw std::invalid_argument("neighbors: bad node");
+  std::vector<Node> result;
+  result.reserve(m_ + 1);
+  for (unsigned i = 0; i < m_; ++i) result.push_back(bits::flip(v, i));
+  result.push_back(external_neighbor(v));
+  return result;
+}
+
+bool HhcTopology::is_internal_edge(Node u, Node v) const noexcept {
+  if (!contains(u) || !contains(v)) return false;
+  return cluster_of(u) == cluster_of(v) &&
+         bits::hamming(position_of(u), position_of(v)) == 1;
+}
+
+bool HhcTopology::is_external_edge(Node u, Node v) const noexcept {
+  if (!contains(u) || !contains(v)) return false;
+  if (position_of(u) != position_of(v)) return false;
+  const std::uint64_t xdiff = cluster_of(u) ^ cluster_of(v);
+  return bits::is_pow2(xdiff) &&
+         bits::lowest_set(xdiff) == gateway_dimension(u);
+}
+
+bool HhcTopology::is_edge(Node u, Node v) const noexcept {
+  return is_internal_edge(u, v) || is_external_edge(u, v);
+}
+
+graph::AdjacencyList HhcTopology::explicit_graph() const {
+  if (m_ > 4) {
+    throw std::invalid_argument(
+        "HhcTopology::explicit_graph: m > 4 is too large to materialize");
+  }
+  graph::AdjacencyList g{static_cast<std::size_t>(node_count())};
+  for (Node v = 0; v < node_count(); ++v) {
+    for (unsigned i = 0; i < m_; ++i) {
+      const Node u = bits::flip(v, i);
+      if (u > v) {
+        g.add_edge(static_cast<graph::Vertex>(v),
+                   static_cast<graph::Vertex>(u));
+      }
+    }
+    const Node w = external_neighbor(v);
+    if (w > v) {
+      g.add_edge(static_cast<graph::Vertex>(v), static_cast<graph::Vertex>(w));
+    }
+  }
+  return g;
+}
+
+}  // namespace hhc::core

@@ -1,0 +1,97 @@
+// The hierarchical hypercube network HHC(n), n = 2^m + m
+// (Malluhi & Bayoumi, IEEE TPDS 1994).
+//
+// A node is a pair (X, Y): X is a 2^m-bit cluster label, Y an m-bit position
+// inside the cluster. Each cluster is a copy of Q_m (internal edges flip one
+// bit of Y); in addition, the node at position Y is its cluster's *gateway*
+// for X-dimension dec(Y): its single external edge flips bit dec(Y) of X.
+// Every node therefore has degree m + 1, and the network has 2^(2^m + m)
+// nodes while keeping the node degree logarithmic in the cluster size.
+//
+// Node ids pack the address as (X << m) | Y into a 64-bit word, which caps
+// the supported range at m <= 5 (2^37 nodes) - already far beyond what any
+// explicit algorithm can touch; all algorithms in this library work on the
+// implicit representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+#include "util/bitops.hpp"
+
+namespace hhc::core {
+
+using Node = std::uint64_t;
+using Path = std::vector<Node>;
+
+class HhcTopology {
+ public:
+  /// HHC with cluster dimension m; requires 1 <= m <= 5.
+  explicit HhcTopology(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  /// Number of X bits = number of clusters' dimensions = 2^m.
+  [[nodiscard]] unsigned cluster_dimensions() const noexcept { return xbits_; }
+  /// Total address width n = 2^m + m.
+  [[nodiscard]] unsigned address_bits() const noexcept { return xbits_ + m_; }
+  /// Node degree = connectivity = m + 1.
+  [[nodiscard]] unsigned degree() const noexcept { return m_ + 1; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return bits::pow2(address_bits());
+  }
+  [[nodiscard]] std::uint64_t cluster_count() const noexcept {
+    return bits::pow2(xbits_);
+  }
+  [[nodiscard]] std::uint64_t cluster_size() const noexcept {
+    return bits::pow2(m_);
+  }
+
+  [[nodiscard]] bool contains(Node v) const noexcept {
+    return v < node_count();
+  }
+
+  /// Packs (X, Y) into a node id.
+  [[nodiscard]] Node encode(std::uint64_t cluster, std::uint64_t position) const;
+  /// Cluster label X of a node.
+  [[nodiscard]] std::uint64_t cluster_of(Node v) const noexcept {
+    return v >> m_;
+  }
+  /// Position Y of a node within its cluster.
+  [[nodiscard]] std::uint64_t position_of(Node v) const noexcept {
+    return v & bits::low_mask(m_);
+  }
+
+  /// Internal neighbor flipping bit i of Y (0 <= i < m).
+  [[nodiscard]] Node internal_neighbor(Node v, unsigned i) const;
+  /// External neighbor flipping bit dec(Y) of X.
+  [[nodiscard]] Node external_neighbor(Node v) const;
+  /// X-dimension this node is the gateway for (= dec(Y)).
+  [[nodiscard]] unsigned gateway_dimension(Node v) const noexcept {
+    return static_cast<unsigned>(position_of(v));
+  }
+
+  /// All m+1 neighbors: internal (ascending dimension), then external.
+  [[nodiscard]] std::vector<Node> neighbors(Node v) const;
+
+  [[nodiscard]] bool is_edge(Node u, Node v) const noexcept;
+  [[nodiscard]] bool is_internal_edge(Node u, Node v) const noexcept;
+  [[nodiscard]] bool is_external_edge(Node u, Node v) const noexcept;
+
+  /// The diameter 2^(m+1): a worst-case pair differs in all 2^m cluster
+  /// dimensions, requiring 2^m external crossings plus a full Gray tour of
+  /// the 2^m gateway positions. Verified exactly by BFS for m <= 4.
+  [[nodiscard]] unsigned theoretical_diameter() const noexcept {
+    return 2 * xbits_;
+  }
+
+  /// Explicit adjacency list of the whole network, with vertex ids equal to
+  /// node ids. Intended for exhaustive verification; requires m <= 4.
+  [[nodiscard]] graph::AdjacencyList explicit_graph() const;
+
+ private:
+  unsigned m_;
+  unsigned xbits_;
+};
+
+}  // namespace hhc::core

@@ -1,0 +1,151 @@
+#include "cube/folded.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace hhc::cube {
+
+FoldedHypercube::FoldedHypercube(unsigned dimension) : n_{dimension} {
+  if (dimension < 2 || dimension > 63) {
+    throw std::invalid_argument("FoldedHypercube: dimension must be in [2,63]");
+  }
+}
+
+CubeNode FoldedHypercube::complement(CubeNode v) const {
+  if (!contains(v)) throw std::invalid_argument("FoldedHypercube: bad node");
+  return v ^ bits::low_mask(n_);
+}
+
+std::vector<CubeNode> FoldedHypercube::neighbors(CubeNode v) const {
+  if (!contains(v)) throw std::invalid_argument("FoldedHypercube: bad node");
+  std::vector<CubeNode> result;
+  result.reserve(n_ + 1);
+  for (unsigned i = 0; i < n_; ++i) result.push_back(bits::flip(v, i));
+  result.push_back(v ^ bits::low_mask(n_));
+  return result;
+}
+
+bool FoldedHypercube::is_edge(CubeNode u, CubeNode v) const noexcept {
+  if (!contains(u) || !contains(v)) return false;
+  const int h = bits::hamming(u, v);
+  return h == 1 || h == static_cast<int>(n_);
+}
+
+unsigned FoldedHypercube::distance(CubeNode u, CubeNode v) const {
+  if (!contains(u) || !contains(v)) {
+    throw std::invalid_argument("FoldedHypercube: bad node");
+  }
+  const auto h = static_cast<unsigned>(bits::hamming(u, v));
+  return std::min(h, n_ + 1 - h);
+}
+
+CubePath FoldedHypercube::shortest_path(CubeNode u, CubeNode v) const {
+  if (!contains(u) || !contains(v)) {
+    throw std::invalid_argument("FoldedHypercube: bad node");
+  }
+  const Hypercube q{n_};
+  const auto h = static_cast<unsigned>(bits::hamming(u, v));
+  if (h <= n_ + 1 - h) return q.shortest_path(u, v);
+  // Cross the complement edge first, then correct the remaining n-h bits.
+  CubePath path{u};
+  const CubeNode w = u ^ bits::low_mask(n_);
+  const auto rest = q.shortest_path(w, v);
+  path.insert(path.end(), rest.begin(), rest.end());
+  return path;
+}
+
+std::vector<CubePath> FoldedHypercube::disjoint_paths(CubeNode s,
+                                                      CubeNode t) const {
+  if (!contains(s) || !contains(t)) {
+    throw std::invalid_argument("FoldedHypercube: bad node");
+  }
+  if (s == t) throw std::invalid_argument("FoldedHypercube: s == t");
+
+  const Hypercube q{n_};
+  const std::uint64_t mask = bits::low_mask(n_);
+  std::vector<unsigned> differing;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (bits::test(s ^ t, i)) differing.push_back(i);
+  }
+  const std::size_t k = differing.size();
+
+  std::vector<CubePath> paths;
+  paths.reserve(n_ + 1);
+
+  // k rotation paths inside the cube (disjoint: distinct cyclic intervals).
+  for (std::size_t r = 0; r < k; ++r) {
+    CubePath path{s};
+    CubeNode cur = s;
+    for (std::size_t j = 0; j < k; ++j) {
+      cur = bits::flip(cur, differing[(r + j) % k]);
+      path.push_back(cur);
+    }
+    paths.push_back(std::move(path));
+  }
+
+  if (k == n_) {
+    // s and t are complements: the complement edge is a direct path.
+    paths.push_back(CubePath{s, t});
+    return paths;
+  }
+
+  if (k == n_ - 1) {
+    // One agreeing dimension e. Structurally, s^complement = t + 2^e and
+    // s + 2^e = t^complement, so the two remaining paths each combine one
+    // complement edge with one e-edge (both of length 2).
+    unsigned e = 0;
+    for (unsigned i = 0; i < n_; ++i) {
+      if (!bits::test(s ^ t, i)) e = i;
+    }
+    paths.push_back(CubePath{s, s ^ mask, t});           // comp, then e
+    paths.push_back(CubePath{s, bits::flip(s, e), t});   // e, then comp
+    return paths;
+  }
+
+  // k <= n-2: one detour per agreeing dimension (e, D..., e) ...
+  for (unsigned e = 0; e < n_; ++e) {
+    if (bits::test(s ^ t, e)) continue;
+    CubePath path{s};
+    CubeNode cur = bits::flip(s, e);
+    path.push_back(cur);
+    for (const unsigned d : differing) {
+      cur = bits::flip(cur, d);
+      path.push_back(cur);
+    }
+    path.push_back(bits::flip(cur, e));  // == t
+    paths.push_back(std::move(path));
+  }
+  // ... plus the complement route s -> s~ ->(flip D)-> t~ -> t. Its
+  // intermediate nodes carry all >= 2 agreeing-dimension flips, so they
+  // cannot meet any rotation (0 such flips) or detour (exactly 1).
+  {
+    CubePath path{s};
+    CubeNode cur = s ^ mask;
+    path.push_back(cur);
+    for (const unsigned d : differing) {
+      cur = bits::flip(cur, d);
+      path.push_back(cur);
+    }
+    path.push_back(cur ^ mask);  // == t
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+graph::AdjacencyList FoldedHypercube::explicit_graph() const {
+  if (n_ > 16) {
+    throw std::invalid_argument("FoldedHypercube: explicit graph too large");
+  }
+  graph::AdjacencyList g{static_cast<std::size_t>(node_count())};
+  for (CubeNode v = 0; v < node_count(); ++v) {
+    for (const CubeNode u : neighbors(v)) {
+      if (u > v) {
+        g.add_edge(static_cast<graph::Vertex>(v), static_cast<graph::Vertex>(u));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hhc::cube

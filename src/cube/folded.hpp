@@ -1,0 +1,69 @@
+// The folded hypercube FQ_n: Q_n plus a complement edge at every node.
+//
+// FQ_n is the classic "add one link, halve the diameter" enhancement of the
+// hypercube and the standard comparison point for hierarchical topologies:
+// degree n+1 (same as HHC(2^n'+n') at matching connectivity), diameter
+// ceil(n/2), connectivity n+1. The module provides the topology, shortest
+// routing, and a complete constructive system of n+1 internally
+// vertex-disjoint paths between any two nodes — used by the
+// network-comparison experiment (T5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/hypercube.hpp"
+#include "graph/adjacency_list.hpp"
+
+namespace hhc::cube {
+
+class FoldedHypercube {
+ public:
+  /// FQ_n with 2^n nodes; requires 2 <= n <= 63 (FQ_1 degenerates to a
+  /// multigraph: the cube edge and the complement edge coincide).
+  explicit FoldedHypercube(unsigned dimension);
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] unsigned degree() const noexcept { return n_ + 1; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return std::uint64_t{1} << n_;
+  }
+  [[nodiscard]] bool contains(CubeNode v) const noexcept {
+    return v < node_count();
+  }
+
+  /// The node's complement partner (all n bits flipped).
+  [[nodiscard]] CubeNode complement(CubeNode v) const;
+
+  /// n cube neighbors (ascending dimension), then the complement neighbor.
+  [[nodiscard]] std::vector<CubeNode> neighbors(CubeNode v) const;
+
+  [[nodiscard]] bool is_edge(CubeNode u, CubeNode v) const noexcept;
+
+  /// Shortest-path distance: min(H, n + 1 - H) where H is the Hamming
+  /// distance (the complement edge is worth using at most once).
+  [[nodiscard]] unsigned distance(CubeNode u, CubeNode v) const;
+
+  /// One shortest path (uses the complement edge first when profitable).
+  [[nodiscard]] CubePath shortest_path(CubeNode u, CubeNode v) const;
+
+  /// The exact diameter of FQ_n: ceil(n/2) (verified by BFS in tests).
+  [[nodiscard]] unsigned theoretical_diameter() const noexcept {
+    return (n_ + 1) / 2;
+  }
+
+  /// n+1 internally vertex-disjoint s-t paths (s != t):
+  ///   k rotations of the differing dimensions,
+  ///   a detour e.D.e per agreeing dimension e,
+  ///   one path through the complement edges (shape depends on n - k).
+  [[nodiscard]] std::vector<CubePath> disjoint_paths(CubeNode s,
+                                                     CubeNode t) const;
+
+  /// Explicit adjacency list (n <= 16).
+  [[nodiscard]] graph::AdjacencyList explicit_graph() const;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace hhc::cube

@@ -1,0 +1,27 @@
+#include "cube/gray.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::cube {
+
+std::vector<std::uint64_t> gray_cycle(unsigned m) {
+  if (m == 0 || m > 20) throw std::invalid_argument("gray_cycle: bad m");
+  std::vector<std::uint64_t> cycle;
+  cycle.reserve(std::size_t{1} << m);
+  for (std::uint64_t i = 0; i < (std::uint64_t{1} << m); ++i) {
+    cycle.push_back(gray(i));
+  }
+  return cycle;
+}
+
+std::vector<std::uint64_t> order_along_gray_cycle(
+    std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end(),
+            [](std::uint64_t a, std::uint64_t b) {
+              return gray_rank(a) < gray_rank(b);
+            });
+  return values;
+}
+
+}  // namespace hhc::cube

@@ -1,0 +1,37 @@
+// Binary reflected Gray codes.
+//
+// The HHC disjoint-path construction orders the X-dimensions it must flip
+// along the Gray cycle of the 2^m gateway positions: consecutive gateways
+// then stay close inside a cluster, which is what bounds the total
+// intra-cluster walking by 2^m instead of m * 2^m. (This mirrors the length
+// analysis used for the HHC diameter.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hhc::cube {
+
+/// i-th codeword of the reflected Gray code.
+[[nodiscard]] constexpr std::uint64_t gray(std::uint64_t i) noexcept {
+  return i ^ (i >> 1);
+}
+
+/// Rank of codeword `g` in the reflected Gray sequence (inverse of gray()).
+[[nodiscard]] constexpr std::uint64_t gray_rank(std::uint64_t g) noexcept {
+  std::uint64_t i = g;
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+/// The full Gray cycle of m-bit codewords: 2^m values, cyclically adjacent
+/// words differ in exactly one bit. Requires m <= 20.
+[[nodiscard]] std::vector<std::uint64_t> gray_cycle(unsigned m);
+
+/// Sorts `values` (distinct m-bit words) into their cyclic order along the
+/// Gray cycle. The sum of Hamming distances between cyclically consecutive
+/// outputs is then at most 2^m.
+[[nodiscard]] std::vector<std::uint64_t> order_along_gray_cycle(
+    std::vector<std::uint64_t> values);
+
+}  // namespace hhc::cube

@@ -1,0 +1,93 @@
+#include "cube/hcn.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace hhc::cube {
+
+HierarchicalCubic::HierarchicalCubic(unsigned n) : n_{n} {
+  if (n == 0 || n > 31) {
+    throw std::invalid_argument("HierarchicalCubic: n must be in [1, 31]");
+  }
+}
+
+std::uint64_t HierarchicalCubic::encode(std::uint64_t cluster,
+                                        std::uint64_t position) const {
+  const std::uint64_t limit = std::uint64_t{1} << n_;
+  if (cluster >= limit || position >= limit) {
+    throw std::invalid_argument("HierarchicalCubic::encode: out of range");
+  }
+  return (cluster << n_) | position;
+}
+
+std::uint64_t HierarchicalCubic::external_neighbor(std::uint64_t v) const {
+  if (!contains(v)) throw std::invalid_argument("HierarchicalCubic: bad node");
+  const std::uint64_t x = cluster_of(v);
+  const std::uint64_t y = position_of(v);
+  if (x != y) return encode(y, x);  // swap link
+  const std::uint64_t xc = x ^ bits::low_mask(n_);
+  return encode(xc, xc);  // diameter link
+}
+
+std::vector<std::uint64_t> HierarchicalCubic::neighbors(std::uint64_t v) const {
+  if (!contains(v)) throw std::invalid_argument("HierarchicalCubic: bad node");
+  std::vector<std::uint64_t> result;
+  result.reserve(n_ + 1);
+  for (unsigned i = 0; i < n_; ++i) result.push_back(bits::flip(v, i));
+  result.push_back(external_neighbor(v));
+  return result;
+}
+
+bool HierarchicalCubic::is_edge(std::uint64_t u, std::uint64_t v) const noexcept {
+  if (!contains(u) || !contains(v) || u == v) return false;
+  if (cluster_of(u) == cluster_of(v)) {
+    return bits::hamming(position_of(u), position_of(v)) == 1;
+  }
+  return external_neighbor(u) == v;
+}
+
+std::vector<std::uint64_t> HierarchicalCubic::route(std::uint64_t s,
+                                                    std::uint64_t t) const {
+  if (!contains(s) || !contains(t)) {
+    throw std::invalid_argument("HierarchicalCubic: bad node");
+  }
+  std::vector<std::uint64_t> path{s};
+  const auto walk_to = [&](std::uint64_t target_position) {
+    std::uint64_t cur = path.back();
+    std::uint64_t diff = position_of(cur) ^ target_position;
+    while (diff != 0) {
+      const unsigned i = bits::lowest_set(diff);
+      cur = bits::flip(cur, i);
+      diff = bits::clear(diff, i);
+      path.push_back(cur);
+    }
+  };
+  if (cluster_of(s) == cluster_of(t)) {
+    walk_to(position_of(t));
+    return path;
+  }
+  // Walk to the swap gateway for the destination cluster, swap, correct.
+  walk_to(cluster_of(t));  // now at (Xs, Xt)
+  // At (Xs, Xt) with Xs != Xt the external link is the swap to (Xt, Xs).
+  path.push_back(external_neighbor(path.back()));
+  walk_to(position_of(t));
+  return path;
+}
+
+graph::AdjacencyList HierarchicalCubic::explicit_graph() const {
+  if (n_ > 8) {
+    throw std::invalid_argument("HierarchicalCubic: explicit graph too large");
+  }
+  graph::AdjacencyList g{static_cast<std::size_t>(node_count())};
+  for (std::uint64_t v = 0; v < node_count(); ++v) {
+    for (const std::uint64_t u : neighbors(v)) {
+      if (u > v) {
+        g.add_edge(static_cast<graph::Vertex>(v), static_cast<graph::Vertex>(u));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hhc::cube

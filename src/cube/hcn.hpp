@@ -1,0 +1,68 @@
+// The hierarchical cubic network HCN(n) (Ghose & Desai, 1995) — the other
+// classic "hypercube of hypercubes" and the natural sibling comparison for
+// the HHC: 2^n clusters, each a Q_n, with node (X, Y) owning one external
+// link — a *swap* link to (Y, X) when X != Y, or a *diameter* link to
+// (~X, ~X) when X == Y. Degree n+1 on N = 2^(2n) nodes.
+//
+// Unlike the HHC, every node can leave its cluster (no gateway bottleneck),
+// at the price of n-bit cluster labels (N = 2^(2n) instead of 2^(2^m + m)).
+// The library provides the topology, a constructive swap route, and the
+// explicit graph for exact verification; disjoint-path construction for
+// HCN is out of scope (its own line of papers) — the max-flow machinery
+// certifies its connectivity instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+
+namespace hhc::cube {
+
+class HierarchicalCubic {
+ public:
+  /// HCN(n) with 2^(2n) nodes; requires 1 <= n <= 31.
+  explicit HierarchicalCubic(unsigned n);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned degree() const noexcept { return n_ + 1; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return std::uint64_t{1} << (2 * n_);
+  }
+  [[nodiscard]] bool contains(std::uint64_t v) const noexcept {
+    return v < node_count();
+  }
+
+  [[nodiscard]] std::uint64_t encode(std::uint64_t cluster,
+                                     std::uint64_t position) const;
+  [[nodiscard]] std::uint64_t cluster_of(std::uint64_t v) const noexcept {
+    return v >> n_;
+  }
+  [[nodiscard]] std::uint64_t position_of(std::uint64_t v) const noexcept {
+    return v & ((std::uint64_t{1} << n_) - 1);
+  }
+
+  /// The single external neighbor: swap link (Y, X) when X != Y, diameter
+  /// link (~X, ~X) when X == Y.
+  [[nodiscard]] std::uint64_t external_neighbor(std::uint64_t v) const;
+
+  /// n internal neighbors (ascending dimension), then the external one.
+  [[nodiscard]] std::vector<std::uint64_t> neighbors(std::uint64_t v) const;
+
+  [[nodiscard]] bool is_edge(std::uint64_t u, std::uint64_t v) const noexcept;
+
+  /// Constructive route via the swap links: walk to (Xs, Xt), swap to
+  /// (Xt, Xs), walk to Yt — length H(Ys, Xt) + 1 + H(Xs, Yt) for distinct
+  /// clusters. Not always optimal (diameter links can shortcut); compared
+  /// against BFS in tests.
+  [[nodiscard]] std::vector<std::uint64_t> route(std::uint64_t s,
+                                                 std::uint64_t t) const;
+
+  /// Explicit adjacency list (n <= 8 keeps it under 64k nodes).
+  [[nodiscard]] graph::AdjacencyList explicit_graph() const;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace hhc::cube

@@ -1,0 +1,81 @@
+#include "cube/hypercube.hpp"
+
+#include <stdexcept>
+
+namespace hhc::cube {
+
+Hypercube::Hypercube(unsigned dimension) : n_{dimension} {
+  if (dimension == 0 || dimension > 63) {
+    throw std::invalid_argument("Hypercube: dimension must be in [1, 63]");
+  }
+}
+
+CubeNode Hypercube::neighbor(CubeNode v, unsigned i) const {
+  if (!contains(v)) throw std::invalid_argument("Hypercube: node out of range");
+  if (i >= n_) throw std::invalid_argument("Hypercube: dimension out of range");
+  return bits::flip(v, i);
+}
+
+std::vector<CubeNode> Hypercube::neighbors(CubeNode v) const {
+  if (!contains(v)) throw std::invalid_argument("Hypercube: node out of range");
+  std::vector<CubeNode> result;
+  result.reserve(n_);
+  for (unsigned i = 0; i < n_; ++i) result.push_back(bits::flip(v, i));
+  return result;
+}
+
+CubePath Hypercube::shortest_path(CubeNode u, CubeNode v) const {
+  if (!contains(u) || !contains(v)) {
+    throw std::invalid_argument("Hypercube: node out of range");
+  }
+  CubePath path{u};
+  std::uint64_t diff = u ^ v;
+  CubeNode cur = u;
+  while (diff != 0) {
+    const unsigned i = bits::lowest_set(diff);
+    cur = bits::flip(cur, i);
+    diff = bits::clear(diff, i);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+CubePath Hypercube::shortest_path_ordered(
+    CubeNode u, CubeNode v, const std::vector<unsigned>& dimension_order) const {
+  if (!contains(u) || !contains(v)) {
+    throw std::invalid_argument("Hypercube: node out of range");
+  }
+  CubePath path{u};
+  std::uint64_t diff = u ^ v;
+  CubeNode cur = u;
+  for (const unsigned i : dimension_order) {
+    if (i >= n_) throw std::invalid_argument("Hypercube: bad dimension order");
+    if (!bits::test(diff, i)) continue;
+    cur = bits::flip(cur, i);
+    diff = bits::clear(diff, i);
+    path.push_back(cur);
+  }
+  if (diff != 0) {
+    throw std::invalid_argument(
+        "Hypercube: dimension order does not cover all differing dimensions");
+  }
+  return path;
+}
+
+graph::AdjacencyList Hypercube::explicit_graph() const {
+  if (n_ > 20) {
+    throw std::invalid_argument("Hypercube: explicit graph too large");
+  }
+  graph::AdjacencyList g{static_cast<std::size_t>(node_count())};
+  for (CubeNode v = 0; v < node_count(); ++v) {
+    for (unsigned i = 0; i < n_; ++i) {
+      const CubeNode u = bits::flip(v, i);
+      if (u > v) {
+        g.add_edge(static_cast<graph::Vertex>(v), static_cast<graph::Vertex>(u));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hhc::cube

@@ -1,0 +1,63 @@
+// The binary n-cube Q_n.
+//
+// Clusters of the hierarchical hypercube are copies of Q_m, and the
+// cluster-level structure is a subgraph of Q_(2^m), so this module is the
+// substrate both levels of the HHC construction stand on. Nodes are n-bit
+// labels in a 64-bit word; edges connect labels at Hamming distance 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+#include "util/bitops.hpp"
+
+namespace hhc::cube {
+
+using CubeNode = std::uint64_t;
+using CubePath = std::vector<CubeNode>;
+
+class Hypercube {
+ public:
+  /// Q_n with 2^n nodes; requires 1 <= n <= 63.
+  explicit Hypercube(unsigned dimension);
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return bits::pow2(n_);
+  }
+  [[nodiscard]] bool contains(CubeNode v) const noexcept {
+    return v < node_count();
+  }
+
+  /// Neighbor across dimension i (0 <= i < n).
+  [[nodiscard]] CubeNode neighbor(CubeNode v, unsigned i) const;
+
+  [[nodiscard]] std::vector<CubeNode> neighbors(CubeNode v) const;
+
+  [[nodiscard]] bool is_edge(CubeNode u, CubeNode v) const noexcept {
+    return contains(u) && contains(v) && bits::hamming(u, v) == 1;
+  }
+
+  /// Shortest-path distance = Hamming distance.
+  [[nodiscard]] int distance(CubeNode u, CubeNode v) const noexcept {
+    return bits::hamming(u, v);
+  }
+
+  /// Shortest u -> v path correcting differing dimensions in ascending order.
+  [[nodiscard]] CubePath shortest_path(CubeNode u, CubeNode v) const;
+
+  /// Shortest u -> v path correcting dimensions in the order given by
+  /// `dimension_order` (must contain each differing dimension exactly once;
+  /// extra dimensions are ignored).
+  [[nodiscard]] CubePath shortest_path_ordered(
+      CubeNode u, CubeNode v, const std::vector<unsigned>& dimension_order) const;
+
+  /// Explicit adjacency list (intended for n <= ~16; throws beyond 20).
+  [[nodiscard]] graph::AdjacencyList explicit_graph() const;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace hhc::cube

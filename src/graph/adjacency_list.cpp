@@ -1,0 +1,44 @@
+#include "graph/adjacency_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::graph {
+
+void AdjacencyList::add_edge(Vertex u, Vertex v) {
+  if (u >= adj_.size() || v >= adj_.size()) {
+    throw std::invalid_argument("add_edge: vertex out of range");
+  }
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  if (has_edge(u, v)) throw std::invalid_argument("add_edge: duplicate edge");
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++edges_;
+}
+
+bool AdjacencyList::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& shorter = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const Vertex other = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), other) != shorter.end();
+}
+
+std::size_t AdjacencyList::min_degree() const noexcept {
+  std::size_t best = adj_.empty() ? 0 : adj_[0].size();
+  for (const auto& list : adj_) best = std::min(best, list.size());
+  return best;
+}
+
+AdjacencyList AdjacencyList::from_implicit(
+    std::size_t vertex_count,
+    const std::function<std::vector<Vertex>(Vertex)>& neighbor_fn) {
+  AdjacencyList g{vertex_count};
+  for (Vertex v = 0; v < vertex_count; ++v) {
+    for (Vertex u : neighbor_fn(v)) {
+      if (u > v) g.add_edge(v, u);  // each undirected edge added once
+    }
+  }
+  return g;
+}
+
+}  // namespace hhc::graph

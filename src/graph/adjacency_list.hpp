@@ -1,0 +1,55 @@
+// Undirected simple graph stored as per-vertex neighbor lists.
+//
+// This is the workhorse for everything small and explicit: hypercube
+// clusters (<= 32 vertices), BFS balls around endpoints, and the flow
+// networks of the exact baseline. Edges are stored in both endpoint lists.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+class AdjacencyList {
+ public:
+  AdjacencyList() = default;
+  explicit AdjacencyList(std::size_t vertex_count) : adj_(vertex_count) {}
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Adds an undirected edge; both endpoints must be < vertex_count().
+  /// Duplicate edges and self-loops are rejected with std::invalid_argument.
+  void add_edge(Vertex u, Vertex v);
+
+  /// True iff u and v are adjacent (linear scan of the shorter list).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return adj_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+    return adj_[v].size();
+  }
+
+  /// Minimum degree over all vertices (0 for the empty graph).
+  [[nodiscard]] std::size_t min_degree() const noexcept;
+
+  /// Builds a graph from an implicit neighbor function over `vertex_count`
+  /// vertices: `neighbor_fn(v)` returns the neighbor list of v. Each edge
+  /// must be reported from both endpoints.
+  static AdjacencyList from_implicit(
+      std::size_t vertex_count,
+      const std::function<std::vector<Vertex>(Vertex)>& neighbor_fn);
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace hhc::graph

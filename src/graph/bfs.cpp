@@ -1,0 +1,90 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace hhc::graph {
+
+std::vector<std::uint32_t> bfs_distances(const AdjacencyList& g, Vertex source) {
+  if (source >= g.vertex_count()) {
+    throw std::invalid_argument("bfs_distances: source out of range");
+  }
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::queue<Vertex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    for (Vertex u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+VertexPath bfs_shortest_path(const AdjacencyList& g, Vertex source,
+                             Vertex target) {
+  if (source >= g.vertex_count() || target >= g.vertex_count()) {
+    throw std::invalid_argument("bfs_shortest_path: vertex out of range");
+  }
+  if (source == target) return {source};
+  std::vector<Vertex> parent(g.vertex_count(), kNoVertex);
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::queue<Vertex> frontier;
+  seen[source] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    for (Vertex u : g.neighbors(v)) {
+      if (seen[u]) continue;
+      seen[u] = true;
+      parent[u] = v;
+      if (u == target) {
+        VertexPath path{target};
+        for (Vertex w = target; w != source;) {
+          w = parent[w];
+          path.push_back(w);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(u);
+    }
+  }
+  return {};
+}
+
+std::uint32_t eccentricity(const AdjacencyList& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (auto d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const AdjacencyList& g) {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const std::uint32_t ecc = eccentricity(g, v);
+    if (ecc == kUnreachable) return kUnreachable;
+    best = std::max(best, ecc);
+  }
+  return best;
+}
+
+bool is_connected(const AdjacencyList& g) {
+  if (g.vertex_count() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+}  // namespace hhc::graph

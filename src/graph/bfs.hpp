@@ -1,0 +1,32 @@
+// Breadth-first search over explicit graphs: distances, shortest paths,
+// eccentricities, and exact diameter (used to verify the topology's
+// theoretical diameter and to measure wide diameters on small instances).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+/// Distances from `source` to every vertex; kUnreachable where disconnected.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const AdjacencyList& g,
+                                                       Vertex source);
+
+/// One shortest path source -> target (inclusive); empty if unreachable.
+[[nodiscard]] VertexPath bfs_shortest_path(const AdjacencyList& g,
+                                           Vertex source, Vertex target);
+
+/// max_v dist(source, v); kUnreachable if the graph is disconnected.
+[[nodiscard]] std::uint32_t eccentricity(const AdjacencyList& g, Vertex source);
+
+/// Exact diameter by all-pairs BFS; kUnreachable if disconnected.
+/// O(V * (V + E)) — intended for instances up to a few thousand vertices.
+[[nodiscard]] std::uint32_t diameter(const AdjacencyList& g);
+
+/// True iff every vertex is reachable from vertex 0 (or the graph is empty).
+[[nodiscard]] bool is_connected(const AdjacencyList& g);
+
+}  // namespace hhc::graph

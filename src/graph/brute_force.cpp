@@ -1,0 +1,102 @@
+#include "graph/brute_force.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhc::graph {
+
+namespace {
+
+// Interior-vertex occupancy of a path as a 64-bit mask (endpoints shared
+// by every container member are excluded).
+std::uint64_t interior_mask(const VertexPath& path) {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    mask |= std::uint64_t{1} << path[i];
+  }
+  return mask;
+}
+
+// Backtracking: can `remaining` pairwise interior-disjoint paths be chosen
+// from paths[from..] (occupancy masks precomputed) avoiding `used`?
+bool pick_disjoint(const std::vector<std::uint64_t>& masks, std::size_t from,
+                   std::size_t remaining, std::uint64_t used) {
+  if (remaining == 0) return true;
+  if (masks.size() - from < remaining) return false;
+  for (std::size_t i = from; i < masks.size(); ++i) {
+    if ((masks[i] & used) != 0) continue;
+    if (pick_disjoint(masks, i + 1, remaining - 1, used | masks[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<VertexPath> enumerate_simple_paths(const AdjacencyList& g,
+                                               Vertex s, Vertex t,
+                                               std::size_t max_length) {
+  if (g.vertex_count() > 64) {
+    throw std::invalid_argument("enumerate_simple_paths: > 64 vertices");
+  }
+  if (s >= g.vertex_count() || t >= g.vertex_count() || s == t) {
+    throw std::invalid_argument("enumerate_simple_paths: bad endpoints");
+  }
+  std::vector<VertexPath> result;
+  VertexPath current{s};
+  std::uint64_t visited = std::uint64_t{1} << s;
+
+  const auto dfs = [&](auto&& self, Vertex v) -> void {
+    if (current.size() > max_length + 1) return;
+    if (v == t) {
+      result.push_back(current);
+      return;
+    }
+    if (current.size() == max_length + 1) return;
+    for (const Vertex u : g.neighbors(v)) {
+      if ((visited >> u) & 1) continue;
+      visited |= std::uint64_t{1} << u;
+      current.push_back(u);
+      self(self, u);
+      current.pop_back();
+      visited &= ~(std::uint64_t{1} << u);
+    }
+  };
+  dfs(dfs, s);
+
+  std::sort(result.begin(), result.end(),
+            [](const VertexPath& a, const VertexPath& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  return result;
+}
+
+std::optional<std::size_t> optimal_container_max_length(const AdjacencyList& g,
+                                                        Vertex s, Vertex t,
+                                                        std::size_t k,
+                                                        std::size_t max_length) {
+  const auto paths = enumerate_simple_paths(g, s, t, max_length);
+  std::vector<std::uint64_t> masks;
+  masks.reserve(paths.size());
+  for (const auto& p : paths) masks.push_back(interior_mask(p));
+
+  // Paths are sorted by length; grow the candidate prefix one length bound
+  // at a time and test feasibility.
+  for (std::size_t limit = 0; limit < paths.size(); ++limit) {
+    if (limit + 1 < paths.size() &&
+        paths[limit + 1].size() == paths[limit].size()) {
+      continue;  // extend to the full length class before testing
+    }
+    const std::vector<std::uint64_t> prefix(masks.begin(),
+                                            masks.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    limit + 1));
+    if (pick_disjoint(prefix, 0, k, 0)) {
+      return paths[limit].size() - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hhc::graph

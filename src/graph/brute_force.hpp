@@ -1,0 +1,31 @@
+// Exhaustive-search reference implementations for tiny graphs.
+//
+// The constructive algorithm upper-bounds the (m+1)-wide diameter; these
+// routines compute the *optimal* container value exactly (minimum over all
+// systems of k internally disjoint paths of the longest member) so the gap
+// can be measured instead of guessed. Exponential by nature — vertices are
+// limited to 64 so occupancy fits in one bitmask word.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+/// Every simple s-t path with at most `max_length` edges, in nondecreasing
+/// length order. DFS enumeration; graphs must have <= 64 vertices.
+[[nodiscard]] std::vector<VertexPath> enumerate_simple_paths(
+    const AdjacencyList& g, Vertex s, Vertex t, std::size_t max_length);
+
+/// min over all systems of k internally vertex-disjoint s-t paths of the
+/// longest member's length, or nullopt when no such system exists within
+/// `max_length`. Exact; intended for graphs of at most ~16 vertices.
+[[nodiscard]] std::optional<std::size_t> optimal_container_max_length(
+    const AdjacencyList& g, Vertex s, Vertex t, std::size_t k,
+    std::size_t max_length);
+
+}  // namespace hhc::graph

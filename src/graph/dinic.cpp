@@ -1,0 +1,98 @@
+#include "graph/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace hhc::graph {
+
+Dinic::Dinic(std::size_t node_count) : graph_(node_count) {}
+
+std::size_t Dinic::add_edge(std::uint32_t u, std::uint32_t v,
+                            std::int64_t capacity) {
+  if (u >= graph_.size() || v >= graph_.size()) {
+    throw std::invalid_argument("Dinic::add_edge: node out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("Dinic::add_edge: negative cap");
+  graph_[u].push_back(Edge{v, graph_[v].size(), capacity, true});
+  graph_[v].push_back(Edge{u, graph_[u].size() - 1, 0, false});
+  edge_handles_.emplace_back(u, graph_[u].size() - 1);
+  return edge_handles_.size() - 1;
+}
+
+bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::uint32_t> frontier;
+  level_[s] = 0;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t Dinic::augment(std::uint32_t v, std::uint32_t t,
+                            std::int64_t limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = next_arc_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.capacity <= 0 || level_[e.to] != level_[v] + 1) continue;
+    const std::int64_t pushed =
+        augment(e.to, t, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      graph_[e.to][e.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(std::uint32_t s, std::uint32_t t) {
+  if (s >= graph_.size() || t >= graph_.size()) {
+    throw std::invalid_argument("Dinic::max_flow: node out of range");
+  }
+  if (s == t) throw std::invalid_argument("Dinic::max_flow: s == t");
+  std::int64_t total = 0;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  while (build_levels(s, t)) {
+    next_arc_.assign(graph_.size(), 0);
+    while (const std::int64_t pushed = augment(s, t, kInf)) total += pushed;
+  }
+  return total;
+}
+
+std::int64_t Dinic::flow_on(std::size_t edge_index) const {
+  const auto [u, slot] = edge_handles_.at(edge_index);
+  const Edge& e = graph_[u][slot];
+  // Flow equals the capacity accumulated on the reverse edge.
+  return graph_[e.to][e.rev].capacity;
+}
+
+void Dinic::cancel_opposite_unit(std::size_t edge_a, std::size_t edge_b) {
+  const auto [ua, slot_a] = edge_handles_.at(edge_a);
+  const auto [ub, slot_b] = edge_handles_.at(edge_b);
+  Edge& ea = graph_[ua][slot_a];
+  Edge& eb = graph_[ub][slot_b];
+  if (ea.to != ub || eb.to != ua) {
+    throw std::invalid_argument("cancel_opposite_unit: arcs are not opposite");
+  }
+  if (graph_[ea.to][ea.rev].capacity <= 0 ||
+      graph_[eb.to][eb.rev].capacity <= 0) {
+    return;  // at least one carries no flow; nothing to cancel
+  }
+  ea.capacity += 1;
+  graph_[ea.to][ea.rev].capacity -= 1;
+  eb.capacity += 1;
+  graph_[eb.to][eb.rev].capacity -= 1;
+}
+
+}  // namespace hhc::graph

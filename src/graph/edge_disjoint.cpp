@@ -1,0 +1,124 @@
+#include "graph/edge_disjoint.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/dinic.hpp"
+
+namespace hhc::graph {
+
+namespace {
+
+// Flow network without vertex splitting: node ids equal vertex ids; each
+// undirected edge contributes one unit-capacity arc per direction. The
+// handles of both arcs per undirected edge are recorded so opposite flows
+// can be cancelled before path decomposition.
+struct EdgeNetwork {
+  Dinic net;
+  // (min(u,v), max(u,v)) -> the two Dinic edge handles (u->v, v->u).
+  std::map<std::pair<Vertex, Vertex>, std::pair<std::size_t, std::size_t>>
+      arc_pairs;
+};
+
+EdgeNetwork build_edge_network(const AdjacencyList& g, bool capped, Vertex s,
+                               std::size_t limit) {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  EdgeNetwork result{Dinic{static_cast<std::size_t>(n) + (capped ? 1u : 0u)},
+                     {}};
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      const std::size_t handle = result.net.add_edge(v, u, 1);
+      const auto key = std::minmax(v, u);
+      auto [it, inserted] = result.arc_pairs.try_emplace(key, handle, handle);
+      if (!inserted) it->second.second = handle;
+    }
+  }
+  if (capped) result.net.add_edge(n, s, static_cast<std::int64_t>(limit));
+  return result;
+}
+
+}  // namespace
+
+std::vector<VertexPath> max_edge_disjoint_paths(const AdjacencyList& g,
+                                                Vertex s, Vertex t,
+                                                std::size_t limit) {
+  if (s >= g.vertex_count() || t >= g.vertex_count()) {
+    throw std::invalid_argument("edge-disjoint: vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("edge-disjoint: s == t");
+
+  const bool capped = limit < g.degree(s);
+  EdgeNetwork ed = build_edge_network(g, capped, s, limit);
+  Dinic& net = ed.net;
+  const auto source =
+      capped ? static_cast<std::uint32_t>(g.vertex_count()) : s;
+  const std::int64_t flow = net.max_flow(source, t);
+
+  // Cancel 2-cycles (flow on both directions of one undirected edge) so the
+  // decomposition never reuses an edge.
+  for (const auto& [key, handles] : ed.arc_pairs) {
+    (void)key;
+    if (handles.first != handles.second) {
+      net.cancel_opposite_unit(handles.first, handles.second);
+    }
+  }
+
+  // Decompose: walk flow-carrying arcs from s, consuming each arc once.
+  std::vector<std::vector<bool>> consumed(net.node_count());
+  for (std::uint32_t v = 0; v < net.node_count(); ++v) {
+    consumed[v].assign(net.residual(v).size(), false);
+  }
+  std::vector<VertexPath> paths;
+  paths.reserve(static_cast<std::size_t>(flow));
+  for (std::int64_t unit = 0; unit < flow; ++unit) {
+    VertexPath path{s};
+    std::uint32_t cur = s;
+    while (cur != t) {
+      bool advanced = false;
+      const auto& arcs = net.residual(cur);
+      for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const auto& arc = arcs[i];
+        if (!arc.is_forward || consumed[cur][i]) continue;
+        if (net.residual(arc.to)[arc.rev].capacity <= 0) continue;  // no flow
+        consumed[cur][i] = true;
+        cur = arc.to;
+        path.push_back(cur);
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        throw std::logic_error("edge-disjoint decomposition: dead end");
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::size_t edge_connectivity_between(const AdjacencyList& g, Vertex s,
+                                      Vertex t) {
+  if (s >= g.vertex_count() || t >= g.vertex_count()) {
+    throw std::invalid_argument("edge-disjoint: vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("edge-disjoint: s == t");
+  EdgeNetwork ed = build_edge_network(g, false, s, 0);
+  return static_cast<std::size_t>(ed.net.max_flow(s, t));
+}
+
+bool paths_are_edge_disjoint(const AdjacencyList& g,
+                             const std::vector<VertexPath>& paths) {
+  std::set<std::pair<Vertex, Vertex>> used;
+  for (const auto& p : paths) {
+    if (p.empty()) return false;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (!g.has_edge(p[i], p[i + 1])) return false;
+      const auto key = std::minmax(p[i], p[i + 1]);
+      if (!used.insert(key).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hhc::graph

@@ -1,0 +1,33 @@
+// Exact edge-disjoint path extraction (the relaxation of vertex
+// disjointness): paths may share vertices but not edges.
+//
+// Included as the companion notion every disjoint-path paper discusses —
+// for the HHC both connectivities coincide at m+1 (it is (m+1)-regular),
+// which the test suite verifies via this independent computation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency_list.hpp"
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+/// Maximum set of pairwise edge-disjoint s-t paths (s != t). Paths are
+/// edge-simple but may repeat no vertex in practice only when forced; at
+/// most `limit` paths are extracted.
+[[nodiscard]] std::vector<VertexPath> max_edge_disjoint_paths(
+    const AdjacencyList& g, Vertex s, Vertex t,
+    std::size_t limit = static_cast<std::size_t>(-1));
+
+/// lambda(s, t): the number of pairwise edge-disjoint s-t paths.
+[[nodiscard]] std::size_t edge_connectivity_between(const AdjacencyList& g,
+                                                    Vertex s, Vertex t);
+
+/// All paths edge-simple and valid; no undirected edge used twice across
+/// the whole set.
+[[nodiscard]] bool paths_are_edge_disjoint(const AdjacencyList& g,
+                                           const std::vector<VertexPath>& paths);
+
+}  // namespace hhc::graph

@@ -1,0 +1,111 @@
+#include "graph/hamiltonian.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hhc::graph {
+
+namespace {
+
+// Pruning invariant: with the current partial path, every unvisited vertex
+// must keep >= 2 unvisited-or-endpoint neighbors available (a Hamiltonian
+// cycle passes through each vertex), and the graph of unvisited vertices
+// must stay connected to the current head. The connectivity check is the
+// expensive one, so it runs only every few levels.
+class Search {
+ public:
+  Search(const AdjacencyList& g, std::uint64_t max_steps)
+      : g_{g}, max_steps_{max_steps}, visited_(g.vertex_count(), false) {}
+
+  HamiltonianResult run() {
+    HamiltonianResult result;
+    if (g_.vertex_count() == 0) {
+      throw std::invalid_argument("find_hamiltonian_cycle: empty graph");
+    }
+    if (g_.vertex_count() == 1 || g_.vertex_count() == 2) {
+      // No simple cycle covers 1 or 2 vertices of a simple graph.
+      result.status = HamiltonianStatus::kNone;
+      return result;
+    }
+    path_.reserve(g_.vertex_count() + 1);
+    path_.push_back(0);
+    visited_[0] = true;
+    const bool found = extend();
+    if (found) {
+      path_.push_back(0);
+      result.status = HamiltonianStatus::kFound;
+      result.cycle = path_;
+    } else {
+      result.status = exhausted_ ? HamiltonianStatus::kExhausted
+                                 : HamiltonianStatus::kNone;
+    }
+    return result;
+  }
+
+ private:
+  bool extend() {
+    if (exhausted_) return false;
+    if (++steps_ > max_steps_ && max_steps_ != 0) {
+      exhausted_ = true;
+      return false;
+    }
+    const Vertex v = path_.back();
+    if (path_.size() == g_.vertex_count()) {
+      return g_.has_edge(v, 0);  // close the cycle
+    }
+    // Order candidates by fewest remaining continuations (fail-first).
+    std::vector<std::pair<std::size_t, Vertex>> candidates;
+    for (const Vertex u : g_.neighbors(v)) {
+      if (visited_[u]) continue;
+      std::size_t free_degree = 0;
+      for (const Vertex w : g_.neighbors(u)) {
+        if (!visited_[w] || w == 0) ++free_degree;
+      }
+      // A vertex entered mid-path still needs an exit.
+      if (free_degree == 0) return false;  // u would become a dead end
+      candidates.emplace_back(free_degree, u);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [free_degree, u] : candidates) {
+      (void)free_degree;
+      visited_[u] = true;
+      path_.push_back(u);
+      if (extend()) return true;
+      path_.pop_back();
+      visited_[u] = false;
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+
+  const AdjacencyList& g_;
+  std::uint64_t max_steps_;
+  std::uint64_t steps_ = 0;
+  bool exhausted_ = false;
+  std::vector<bool> visited_;
+  VertexPath path_;
+};
+
+}  // namespace
+
+HamiltonianResult find_hamiltonian_cycle(const AdjacencyList& g,
+                                         std::uint64_t max_steps) {
+  return Search{g, max_steps}.run();
+}
+
+bool is_hamiltonian_cycle(const AdjacencyList& g, const VertexPath& cycle) {
+  if (g.vertex_count() < 3) return false;
+  if (cycle.size() != g.vertex_count() + 1) return false;
+  if (cycle.front() != cycle.back()) return false;
+  std::vector<bool> seen(g.vertex_count(), false);
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    const Vertex v = cycle[i];
+    if (v >= g.vertex_count() || seen[v]) return false;
+    seen[v] = true;
+    if (!g.has_edge(v, cycle[i + 1])) return false;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace hhc::graph

@@ -1,0 +1,40 @@
+// Hamiltonian-cycle search by pruned backtracking.
+//
+// Ring embedding is the classic "processor farm" property every topology
+// paper tabulates. General Hamiltonicity is NP-complete, so this is an
+// exact search with degree-based pruning intended for the small instances
+// where the question is decidable in practice (the HHC at m <= 2, Q_n and
+// FQ_n up to a few hundred vertices) — with an explicit step budget so
+// callers get "unknown" instead of an unbounded stall.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/adjacency_list.hpp"
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+/// Outcome of a bounded search.
+enum class HamiltonianStatus {
+  kFound,       // cycle returned
+  kNone,        // exhaustively proven absent
+  kExhausted,   // step budget hit before an answer
+};
+
+struct HamiltonianResult {
+  HamiltonianStatus status = HamiltonianStatus::kExhausted;
+  VertexPath cycle;  // closed: front() == back(); empty unless kFound
+};
+
+/// Searches for a Hamiltonian cycle; `max_steps` bounds backtracking node
+/// expansions (0 = unlimited). Requires a nonempty graph.
+[[nodiscard]] HamiltonianResult find_hamiltonian_cycle(
+    const AdjacencyList& g, std::uint64_t max_steps = 50'000'000);
+
+/// True iff `cycle` is a closed walk visiting every vertex exactly once.
+[[nodiscard]] bool is_hamiltonian_cycle(const AdjacencyList& g,
+                                        const VertexPath& cycle);
+
+}  // namespace hhc::graph

@@ -1,0 +1,69 @@
+#include "graph/path_utils.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hhc::graph {
+
+CheckResult validate_simple_path(const AdjacencyList& g,
+                                 const VertexPath& path) {
+  if (path.empty()) return CheckResult::failure("empty path");
+  std::unordered_set<Vertex> seen;
+  for (const Vertex v : path) {
+    if (v >= g.vertex_count()) {
+      return CheckResult::failure("vertex out of range: " + std::to_string(v));
+    }
+    if (!seen.insert(v).second) {
+      return CheckResult::failure("repeated vertex: " + std::to_string(v));
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_edge(path[i], path[i + 1])) {
+      return CheckResult::failure("non-edge " + std::to_string(path[i]) +
+                                  " -- " + std::to_string(path[i + 1]));
+    }
+  }
+  return CheckResult::success();
+}
+
+CheckResult validate_path_between(const AdjacencyList& g,
+                                  const VertexPath& path, Vertex from,
+                                  Vertex to) {
+  if (auto r = validate_simple_path(g, path); !r) return r;
+  if (path.front() != from) {
+    return CheckResult::failure("path starts at " +
+                                std::to_string(path.front()) + ", expected " +
+                                std::to_string(from));
+  }
+  if (path.back() != to) {
+    return CheckResult::failure("path ends at " + std::to_string(path.back()) +
+                                ", expected " + std::to_string(to));
+  }
+  return CheckResult::success();
+}
+
+CheckResult validate_internally_disjoint(const AdjacencyList& g,
+                                         std::span<const VertexPath> paths,
+                                         std::span<const Vertex> shared) {
+  const std::unordered_set<Vertex> allowed(shared.begin(), shared.end());
+  std::unordered_map<Vertex, std::size_t> owner;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (auto r = validate_simple_path(g, paths[i]); !r) {
+      return CheckResult::failure("path " + std::to_string(i) + ": " +
+                                  r.reason);
+    }
+    for (const Vertex v : paths[i]) {
+      if (allowed.count(v) > 0) continue;
+      const auto [it, inserted] = owner.emplace(v, i);
+      if (!inserted) {
+        return CheckResult::failure(
+            "vertex " + std::to_string(v) + " shared by paths " +
+            std::to_string(it->second) + " and " + std::to_string(i));
+      }
+    }
+  }
+  return CheckResult::success();
+}
+
+}  // namespace hhc::graph

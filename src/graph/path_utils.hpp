@@ -1,0 +1,41 @@
+// Validation helpers for explicit-graph paths.
+//
+// Every algorithmic claim in this repository (valid paths, internal
+// disjointness, endpoint correctness) is enforced by these checkers in the
+// test suite rather than assumed.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/adjacency_list.hpp"
+#include "graph/types.hpp"
+
+namespace hhc::graph {
+
+/// Outcome of a validation check; `ok` with an empty reason on success.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const noexcept { return ok; }
+  static CheckResult failure(std::string why) { return {false, std::move(why)}; }
+  static CheckResult success() { return {}; }
+};
+
+/// True path: nonempty, consecutive vertices adjacent, no repeated vertex.
+[[nodiscard]] CheckResult validate_simple_path(const AdjacencyList& g,
+                                               const VertexPath& path);
+
+/// validate_simple_path plus endpoint equality.
+[[nodiscard]] CheckResult validate_path_between(const AdjacencyList& g,
+                                                const VertexPath& path,
+                                                Vertex from, Vertex to);
+
+/// All paths simple; pairwise vertex-disjoint except at shared endpoints
+/// listed in `shared` (typically {s, t} for one-to-one, {s} for a fan).
+[[nodiscard]] CheckResult validate_internally_disjoint(
+    const AdjacencyList& g, std::span<const VertexPath> paths,
+    std::span<const Vertex> shared);
+
+}  // namespace hhc::graph

@@ -1,0 +1,22 @@
+// Fundamental vertex/path types for the explicit-graph substrate.
+//
+// Explicit graphs (clusters, BFS balls, baseline flow networks) are small
+// enough for 32-bit vertex ids; the hierarchical hypercube itself uses
+// 64-bit node ids and is handled implicitly by the core library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hhc::graph {
+
+using Vertex = std::uint32_t;
+using VertexPath = std::vector<Vertex>;
+
+/// Sentinel for "no vertex".
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+}  // namespace hhc::graph

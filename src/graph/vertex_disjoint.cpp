@@ -1,0 +1,223 @@
+#include "graph/vertex_disjoint.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/dinic.hpp"
+
+namespace hhc::graph {
+
+namespace {
+
+// Flow-network layout shared by all routines: vertex v occupies the pair
+// (in(v), out(v)) = (2v, 2v+1); extra terminals are appended after 2V.
+constexpr std::uint32_t in_node(Vertex v) { return 2 * v; }
+constexpr std::uint32_t out_node(Vertex v) { return 2 * v + 1; }
+
+// Walks one unit of flow from `start` until `stop(node)` holds, consuming
+// flow-carrying forward edges. Returns the sequence of flow-network nodes
+// visited (including start and the stop node). With unit vertex capacities
+// the walk is finite and visits each vertex at most once.
+std::vector<std::uint32_t> walk_flow_unit(
+    Dinic& net, std::uint32_t start,
+    const std::function<bool(std::uint32_t)>& stop,
+    std::vector<std::vector<bool>>& consumed) {
+  std::vector<std::uint32_t> trail{start};
+  std::uint32_t cur = start;
+  while (!stop(cur)) {
+    const auto& edges = net.residual(cur);
+    bool advanced = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto& e = edges[i];
+      if (!e.is_forward || consumed[cur][i]) continue;
+      // Flow on a forward edge equals the residual of its reverse edge.
+      if (net.residual(e.to)[e.rev].capacity <= 0) continue;
+      consumed[cur][i] = true;
+      cur = e.to;
+      trail.push_back(cur);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      throw std::logic_error("flow decomposition: dead end (broken flow)");
+    }
+  }
+  return trail;
+}
+
+std::vector<std::vector<bool>> make_consumed(const Dinic& net) {
+  std::vector<std::vector<bool>> consumed(net.node_count());
+  for (std::uint32_t v = 0; v < net.node_count(); ++v) {
+    consumed[v].assign(net.residual(v).size(), false);
+  }
+  return consumed;
+}
+
+}  // namespace
+
+std::vector<VertexPath> max_vertex_disjoint_paths(const AdjacencyList& g,
+                                                  Vertex s, Vertex t,
+                                                  std::size_t limit) {
+  if (s >= g.vertex_count() || t >= g.vertex_count()) {
+    throw std::invalid_argument("disjoint paths: vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("disjoint paths: s == t");
+
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  const bool capped = limit < g.degree(s);
+  const std::uint32_t super = 2 * n;  // only used when capped
+  Dinic net{static_cast<std::size_t>(2 * n) + (capped ? 1u : 0u)};
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != s && v != t) net.add_edge(in_node(v), out_node(v), 1);
+    for (Vertex u : g.neighbors(v)) {
+      net.add_edge(out_node(v), in_node(u), 1);
+    }
+  }
+  std::uint32_t source = out_node(s);
+  if (capped) {
+    net.add_edge(super, out_node(s), static_cast<std::int64_t>(limit));
+    source = super;
+  }
+  const std::int64_t flow = net.max_flow(source, in_node(t));
+
+  std::vector<VertexPath> paths;
+  paths.reserve(static_cast<std::size_t>(flow));
+  auto consumed = make_consumed(net);
+  for (std::int64_t unit = 0; unit < flow; ++unit) {
+    const auto trail = walk_flow_unit(
+        net, out_node(s), [&](std::uint32_t v) { return v == in_node(t); },
+        consumed);
+    VertexPath path{s};
+    for (std::uint32_t node : trail) {
+      if (node != out_node(s) && node % 2 == 0) path.push_back(node / 2);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::size_t vertex_connectivity_between(const AdjacencyList& g, Vertex s,
+                                        Vertex t) {
+  if (s == t) throw std::invalid_argument("connectivity: s == t");
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  Dinic net{static_cast<std::size_t>(2 * n)};
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != s && v != t) net.add_edge(in_node(v), out_node(v), 1);
+    for (Vertex u : g.neighbors(v)) {
+      net.add_edge(out_node(v), in_node(u), 1);
+    }
+  }
+  return static_cast<std::size_t>(net.max_flow(out_node(s), in_node(t)));
+}
+
+std::vector<VertexPath> vertex_disjoint_fan(const AdjacencyList& g, Vertex s,
+                                            std::span<const Vertex> targets) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  if (s >= n) throw std::invalid_argument("fan: source out of range");
+  std::unordered_map<Vertex, std::size_t> target_index;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const Vertex t = targets[i];
+    if (t >= n || t == s) throw std::invalid_argument("fan: bad target");
+    if (!target_index.emplace(t, i).second) {
+      throw std::invalid_argument("fan: duplicate target");
+    }
+  }
+  if (targets.empty()) return {};
+
+  const std::uint32_t sink = 2 * n;
+  Dinic net{static_cast<std::size_t>(2 * n) + 1};
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != s) net.add_edge(in_node(v), out_node(v), 1);
+    for (Vertex u : g.neighbors(v)) {
+      net.add_edge(out_node(v), in_node(u), 1);
+    }
+  }
+  for (const Vertex t : targets) net.add_edge(out_node(t), sink, 1);
+
+  const std::int64_t flow = net.max_flow(out_node(s), sink);
+  if (flow != static_cast<std::int64_t>(targets.size())) {
+    throw std::runtime_error("vertex_disjoint_fan: no complete fan exists");
+  }
+
+  std::vector<VertexPath> result(targets.size());
+  auto consumed = make_consumed(net);
+  for (std::size_t unit = 0; unit < targets.size(); ++unit) {
+    const auto trail = walk_flow_unit(
+        net, out_node(s), [&](std::uint32_t v) { return v == sink; }, consumed);
+    VertexPath path{s};
+    for (std::uint32_t node : trail) {
+      if (node != out_node(s) && node != sink && node % 2 == 0) {
+        path.push_back(node / 2);
+      }
+    }
+    const Vertex endpoint = path.back();
+    result[target_index.at(endpoint)] = std::move(path);
+  }
+  return result;
+}
+
+std::vector<VertexPath> vertex_disjoint_reverse_fan(
+    const AdjacencyList& g, std::span<const Vertex> sources, Vertex t) {
+  // Reuse the forward fan on the same (undirected) graph and reverse paths.
+  auto fans = vertex_disjoint_fan(g, t, sources);
+  for (auto& p : fans) std::reverse(p.begin(), p.end());
+  return fans;
+}
+
+std::vector<VertexPath> set_to_set_disjoint_paths(
+    const AdjacencyList& g, std::span<const Vertex> sources,
+    std::span<const Vertex> sinks) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  std::unordered_map<Vertex, std::size_t> source_set;
+  std::unordered_map<Vertex, std::size_t> sink_set;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] >= n) throw std::invalid_argument("set-to-set: bad source");
+    if (!source_set.emplace(sources[i], i).second) {
+      throw std::invalid_argument("set-to-set: duplicate source");
+    }
+  }
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (sinks[i] >= n) throw std::invalid_argument("set-to-set: bad sink");
+    if (!sink_set.emplace(sinks[i], i).second) {
+      throw std::invalid_argument("set-to-set: duplicate sink");
+    }
+  }
+  if (sources.empty() || sinks.empty()) return {};
+
+  // Every vertex (endpoints included) carries unit capacity: total
+  // disjointness. Super source feeds each source's in-node; each sink's
+  // out-node drains to the super sink, so a path consumes its endpoints.
+  const std::uint32_t super_s = 2 * n;
+  const std::uint32_t super_t = 2 * n + 1;
+  Dinic net{static_cast<std::size_t>(2 * n) + 2};
+  for (Vertex v = 0; v < n; ++v) {
+    net.add_edge(in_node(v), out_node(v), 1);
+    for (const Vertex u : g.neighbors(v)) {
+      net.add_edge(out_node(v), in_node(u), 1);
+    }
+  }
+  for (const Vertex s : sources) net.add_edge(super_s, in_node(s), 1);
+  for (const Vertex t : sinks) net.add_edge(out_node(t), super_t, 1);
+
+  const std::int64_t flow = net.max_flow(super_s, super_t);
+
+  std::vector<VertexPath> paths;
+  paths.reserve(static_cast<std::size_t>(flow));
+  auto consumed = make_consumed(net);
+  for (std::int64_t unit = 0; unit < flow; ++unit) {
+    const auto trail = walk_flow_unit(
+        net, super_s, [&](std::uint32_t v) { return v == super_t; }, consumed);
+    VertexPath path;
+    for (const std::uint32_t node : trail) {
+      if (node == super_s || node == super_t) continue;
+      if (node % 2 == 0) path.push_back(node / 2);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace hhc::graph

@@ -1,0 +1,69 @@
+#include "sim/patterns.hpp"
+
+#include <stdexcept>
+
+#include "util/bitops.hpp"
+
+namespace hhc::sim {
+
+std::string pattern_name(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kComplement:
+      return "bit-complement";
+    case Pattern::kReverse:
+      return "bit-reverse";
+    case Pattern::kRotate:
+      return "rotate(n/2)";
+    case Pattern::kShuffle:
+      return "shuffle";
+    case Pattern::kTornado:
+      return "tornado";
+  }
+  throw std::invalid_argument("pattern_name: bad pattern");
+}
+
+core::Node apply_pattern(const core::HhcTopology& net, Pattern pattern,
+                         core::Node v) {
+  if (!net.contains(v)) throw std::invalid_argument("apply_pattern: bad node");
+  const unsigned n = net.address_bits();
+  const std::uint64_t mask = bits::low_mask(n);
+  switch (pattern) {
+    case Pattern::kComplement:
+      return (~v) & mask;
+    case Pattern::kReverse: {
+      std::uint64_t out = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        if (bits::test(v, i)) out = bits::set(out, n - 1 - i);
+      }
+      return out;
+    }
+    case Pattern::kRotate: {
+      const unsigned shift = n / 2;
+      return ((v << shift) | (v >> (n - shift))) & mask;
+    }
+    case Pattern::kShuffle:
+      return ((v << 1) | (v >> (n - 1))) & mask;
+    case Pattern::kTornado: {
+      const std::uint64_t half = (net.node_count() + 1) / 2;
+      return (v + half - 1) % net.node_count();
+    }
+  }
+  throw std::invalid_argument("apply_pattern: bad pattern");
+}
+
+std::vector<Flow> pattern_traffic(const core::HhcTopology& net,
+                                  Pattern pattern) {
+  if (net.m() > 3) {
+    throw std::invalid_argument(
+        "pattern_traffic: one flow per node needs m <= 3");
+  }
+  std::vector<Flow> flows;
+  flows.reserve(net.node_count());
+  for (core::Node v = 0; v < net.node_count(); ++v) {
+    const core::Node dest = apply_pattern(net, pattern, v);
+    if (dest != v) flows.push_back({v, dest, 0});
+  }
+  return flows;
+}
+
+}  // namespace hhc::sim

@@ -1,0 +1,40 @@
+// Classic synthetic traffic patterns (Dally & Towles style), adapted to
+// the HHC's n-bit node addresses.
+//
+// Each pattern is a permutation-like map over node ids; patterns stress
+// different aspects of a topology. On the HHC, bit-complement is the
+// adversarial case (every cluster dimension differs, forcing full gateway
+// tours), while shuffle keeps most traffic local. Fixed points of a
+// pattern are skipped when generating flows (a node does not send to
+// itself).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "sim/traffic.hpp"
+
+namespace hhc::sim {
+
+enum class Pattern {
+  kComplement,  // dest = ~v                 (all n bits flip)
+  kReverse,     // dest = bit-reverse(v)
+  kRotate,      // dest = rotate-left(v, n/2) ("transpose" for even n)
+  kShuffle,     // dest = rotate-left(v, 1)   (perfect shuffle)
+  kTornado,     // dest = (v + ceil(N/2) - 1) mod N
+};
+
+/// Human-readable pattern name for tables.
+[[nodiscard]] std::string pattern_name(Pattern pattern);
+
+/// The pattern's destination for node v (may equal v for some patterns).
+[[nodiscard]] core::Node apply_pattern(const core::HhcTopology& net,
+                                       Pattern pattern, core::Node v);
+
+/// One flow per node (injected at time 0), skipping fixed points.
+/// Intended for m <= 3 (one flow per node of the whole network).
+[[nodiscard]] std::vector<Flow> pattern_traffic(const core::HhcTopology& net,
+                                                Pattern pattern);
+
+}  // namespace hhc::sim

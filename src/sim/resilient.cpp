@@ -1,0 +1,112 @@
+#include "sim/resilient.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "sim/network.hpp"
+
+namespace hhc::sim {
+
+namespace {
+
+// Runs one packet over `path` under `faults`; returns (delivered, cycles
+// in flight or hops covered before loss).
+std::pair<bool, std::uint64_t> run_single(const core::HhcTopology& net,
+                                          const core::Path& path,
+                                          const core::FaultSet& faults) {
+  NetworkSimulator simulator{net};
+  simulator.set_faults(faults);
+  simulator.inject(path, 0);
+  const auto report = simulator.run();
+  if (report.delivered == 1) return {true, report.latency.max};
+  // Lost: hops covered before the faulty node.
+  return {false, simulator.packets()[0].hop};
+}
+
+}  // namespace
+
+TransferOutcome serial_retry_transfer(const core::HhcTopology& net,
+                                      core::Node s, core::Node t,
+                                      const core::FaultSet& faults) {
+  const auto container = core::node_disjoint_paths(net, s, t);
+  TransferOutcome outcome;
+  std::uint64_t clock = 0;
+  for (const core::Path& path : container.paths) {
+    ++outcome.attempts;
+    const auto [ok, cycles_or_hops] = run_single(net, path, faults);
+    if (ok) {
+      outcome.delivered = true;
+      outcome.completion_cycles = clock + cycles_or_hops;
+      return outcome;
+    }
+    outcome.wasted_transmissions += cycles_or_hops;
+    // The sender only learns of the loss by silence: charge a round-trip
+    // worth of timeout before the next attempt.
+    clock += 2 * (path.size() - 1);
+  }
+  outcome.completion_cycles = clock;
+  return outcome;
+}
+
+TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,
+                                   core::Node t,
+                                   const core::FaultSet& faults) {
+  const auto container = core::node_disjoint_paths(net, s, t);
+  NetworkSimulator simulator{net};
+  simulator.set_faults(faults);
+  for (const auto& path : container.paths) simulator.inject(path, 0);
+  simulator.run();
+
+  TransferOutcome outcome;
+  outcome.attempts = container.paths.size();
+  std::vector<std::uint64_t> arrivals;
+  for (const auto& p : simulator.packets()) {
+    if (p.delivered) {
+      arrivals.push_back(p.completion_time - p.inject_time);
+    } else {
+      outcome.wasted_transmissions += p.hop;
+    }
+  }
+  const unsigned needed = net.m();  // any m of m+1 fragments reconstruct
+  if (arrivals.size() >= needed) {
+    std::sort(arrivals.begin(), arrivals.end());
+    outcome.delivered = true;
+    outcome.completion_cycles = arrivals[needed - 1];
+  }
+  return outcome;
+}
+
+TransferOutcome flooding_transfer(const core::HhcTopology& net, core::Node s,
+                                  core::Node t, const core::FaultSet& faults) {
+  const auto container = core::node_disjoint_paths(net, s, t);
+  NetworkSimulator simulator{net};
+  simulator.set_faults(faults);
+  for (const auto& path : container.paths) simulator.inject(path, 0);
+  simulator.run();
+
+  TransferOutcome outcome;
+  outcome.attempts = container.paths.size();
+  std::uint64_t best = 0;
+  bool any = false;
+  for (const auto& p : simulator.packets()) {
+    if (p.delivered) {
+      const std::uint64_t latency = p.completion_time - p.inject_time;
+      if (!any || latency < best) best = latency;
+      any = true;
+      // Every copy beyond the first is overhead by definition.
+      outcome.wasted_transmissions += p.route.size() - 1;
+    } else {
+      outcome.wasted_transmissions += p.hop;
+    }
+  }
+  if (any) {
+    outcome.delivered = true;
+    outcome.completion_cycles = best;
+    // The winning copy's hops are useful work, not waste.
+    outcome.wasted_transmissions -= best;
+  }
+  return outcome;
+}
+
+}  // namespace hhc::sim

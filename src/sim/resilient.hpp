@@ -1,0 +1,47 @@
+// Resilient transfer protocols simulated on top of the packet network.
+//
+// Three end-to-end strategies for moving one message from s to t under
+// node faults, all driven through the same simulator so their costs are
+// directly comparable (Experiment F5):
+//
+//   serial-retry : send over the container paths one at a time; a lost
+//                  attempt is detected after a timeout of 2 * path length
+//                  (round-trip worth of silence), then the next disjoint
+//                  path is tried. No erasure coding; worst case pays for
+//                  every blocked path before succeeding.
+//   dispersal    : all m+1 fragments at once; completes when any m arrive.
+//   flooding     : the full message duplicated over every path; completes
+//                  when the first copy arrives. Fastest, m+1x bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fault_routing.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::sim {
+
+struct TransferOutcome {
+  bool delivered = false;
+  std::uint64_t completion_cycles = 0;  // cycles until usable at the sink
+  std::size_t attempts = 0;             // paths tried (serial) / sent (others)
+  std::size_t wasted_transmissions = 0; // hops traversed by lost packets
+};
+
+/// Serial retry over the disjoint container, with per-attempt timeout
+/// 2 * (path length) cycles charged for every failed attempt.
+[[nodiscard]] TransferOutcome serial_retry_transfer(
+    const core::HhcTopology& net, core::Node s, core::Node t,
+    const core::FaultSet& faults);
+
+/// One-shot dispersal: m+1 fragments in parallel; done when m arrive.
+[[nodiscard]] TransferOutcome dispersal_transfer(const core::HhcTopology& net,
+                                                 core::Node s, core::Node t,
+                                                 const core::FaultSet& faults);
+
+/// Full duplication over all m+1 paths; done when the first copy arrives.
+[[nodiscard]] TransferOutcome flooding_transfer(const core::HhcTopology& net,
+                                                core::Node s, core::Node t,
+                                                const core::FaultSet& faults);
+
+}  // namespace hhc::sim

@@ -1,0 +1,32 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hhc::sim {
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: bad q");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(pos));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+Summary summarize(std::vector<std::uint64_t> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  long double total = 0;
+  for (const auto v : values) total += static_cast<long double>(v);
+  s.mean = static_cast<double>(total / static_cast<long double>(values.size()));
+  s.min = values.front();
+  s.p50 = percentile(values, 0.50);
+  s.p95 = percentile(values, 0.95);
+  s.max = values.back();
+  return s;
+}
+
+}  // namespace hhc::sim

@@ -1,0 +1,25 @@
+// Small summary-statistics helpers for simulator and benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hhc::sim {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  std::uint64_t min = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t max = 0;
+};
+
+/// q in [0, 1]; `sorted` must be ascending and nonempty.
+[[nodiscard]] std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                                       double q);
+
+/// Sorts a copy of `values` and computes the summary (zeros when empty).
+[[nodiscard]] Summary summarize(std::vector<std::uint64_t> values);
+
+}  // namespace hhc::sim

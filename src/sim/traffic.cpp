@@ -1,0 +1,66 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace hhc::sim {
+
+std::vector<Flow> uniform_random_traffic(const core::HhcTopology& net,
+                                         std::size_t count,
+                                         std::uint64_t horizon,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  while (flows.size() < count) {
+    const core::Node s = rng.below(net.node_count());
+    const core::Node t = rng.below(net.node_count());
+    if (s == t) continue;
+    flows.push_back({s, t, horizon == 0 ? 0 : rng.below(horizon + 1)});
+  }
+  return flows;
+}
+
+std::vector<Flow> permutation_traffic(const core::HhcTopology& net,
+                                      std::size_t count, std::uint64_t seed) {
+  if (2 * count > net.node_count()) {
+    throw std::invalid_argument("permutation_traffic: too many flows");
+  }
+  util::Xoshiro256 rng{seed};
+  std::unordered_set<core::Node> used;
+  const auto fresh = [&]() {
+    for (;;) {
+      const core::Node v = rng.below(net.node_count());
+      if (used.insert(v).second) return v;
+    }
+  };
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::Node s = fresh();
+    const core::Node t = fresh();
+    flows.push_back({s, t, 0});
+  }
+  return flows;
+}
+
+std::vector<Flow> hotspot_traffic(const core::HhcTopology& net,
+                                  std::size_t count, core::Node target,
+                                  std::uint64_t seed) {
+  if (!net.contains(target)) {
+    throw std::invalid_argument("hotspot_traffic: target out of range");
+  }
+  util::Xoshiro256 rng{seed};
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  while (flows.size() < count) {
+    const core::Node s = rng.below(net.node_count());
+    if (s == target) continue;
+    flows.push_back({s, target, 0});
+  }
+  return flows;
+}
+
+}  // namespace hhc::sim

@@ -1,0 +1,35 @@
+// Workload generators for the simulator experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace hhc::sim {
+
+struct Flow {
+  core::Node s = 0;
+  core::Node t = 0;
+  std::uint64_t inject_time = 0;
+};
+
+/// `count` flows with independently uniform endpoints (s != t), injection
+/// times uniform in [0, horizon].
+[[nodiscard]] std::vector<Flow> uniform_random_traffic(
+    const core::HhcTopology& net, std::size_t count, std::uint64_t horizon,
+    std::uint64_t seed);
+
+/// A random partial permutation: `count` distinct sources mapped to `count`
+/// distinct targets (no fixed points), all injected at time 0. Requires
+/// 2 * count <= node_count.
+[[nodiscard]] std::vector<Flow> permutation_traffic(
+    const core::HhcTopology& net, std::size_t count, std::uint64_t seed);
+
+/// `count` flows from random sources to one hot-spot target.
+[[nodiscard]] std::vector<Flow> hotspot_traffic(const core::HhcTopology& net,
+                                                std::size_t count,
+                                                core::Node target,
+                                                std::uint64_t seed);
+
+}  // namespace hhc::sim

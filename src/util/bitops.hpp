@@ -1,0 +1,75 @@
+// Bit-manipulation primitives shared by the topology and routing layers.
+//
+// Every address computation in the hierarchical hypercube reduces to a
+// handful of mask/extract/flip operations on 64-bit words, so these helpers
+// are kept branch-free and constexpr wherever possible.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cassert>
+
+namespace hhc::bits {
+
+/// Number of set bits in `v`.
+[[nodiscard]] constexpr int popcount(std::uint64_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// True iff bit `i` of `v` is set. `i` must be < 64.
+[[nodiscard]] constexpr bool test(std::uint64_t v, unsigned i) noexcept {
+  return ((v >> i) & 1u) != 0;
+}
+
+/// `v` with bit `i` set.
+[[nodiscard]] constexpr std::uint64_t set(std::uint64_t v, unsigned i) noexcept {
+  return v | (std::uint64_t{1} << i);
+}
+
+/// `v` with bit `i` cleared.
+[[nodiscard]] constexpr std::uint64_t clear(std::uint64_t v, unsigned i) noexcept {
+  return v & ~(std::uint64_t{1} << i);
+}
+
+/// `v` with bit `i` flipped.
+[[nodiscard]] constexpr std::uint64_t flip(std::uint64_t v, unsigned i) noexcept {
+  return v ^ (std::uint64_t{1} << i);
+}
+
+/// Mask with the low `n` bits set. `n` must be <= 64.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Extract `len` bits of `v` starting at bit `pos`.
+[[nodiscard]] constexpr std::uint64_t extract(std::uint64_t v, unsigned pos,
+                                              unsigned len) noexcept {
+  return (v >> pos) & low_mask(len);
+}
+
+/// Index of the lowest set bit; `v` must be nonzero.
+[[nodiscard]] constexpr unsigned lowest_set(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Index of the highest set bit; `v` must be nonzero.
+[[nodiscard]] constexpr unsigned highest_set(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// Hamming distance between two words.
+[[nodiscard]] constexpr int hamming(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// True iff `v` is a power of two (exactly one set bit).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return std::has_single_bit(v);
+}
+
+/// 2^e as a 64-bit word; `e` must be < 64.
+[[nodiscard]] constexpr std::uint64_t pow2(unsigned e) noexcept {
+  return std::uint64_t{1} << e;
+}
+
+}  // namespace hhc::bits

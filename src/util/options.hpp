@@ -1,0 +1,45 @@
+// Tiny command-line option parser for the examples and benchmark binaries.
+//
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms. Unknown
+// options are an error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hhc::util {
+
+class Options {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Options(int argc, const char* const* argv);
+
+  /// Declare an option (for --help text and unknown-option detection).
+  /// Returns *this so declarations can be chained.
+  Options& describe(const std::string& key, const std::string& help);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// True if --help was passed; prints usage to stdout when called.
+  [[nodiscard]] bool help_requested(const std::string& program_summary) const;
+
+  /// Throws std::invalid_argument if any parsed key was never described.
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> described_;
+  std::string program_;
+};
+
+}  // namespace hhc::util

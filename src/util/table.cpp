@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hhc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  cells_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string{cell}); }
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  if (!title.empty()) os << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(width[c])) << cell;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 2 * headers_.size();
+  for (auto w : width) total += w;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : cells_) emit_row(r);
+}
+
+}  // namespace hhc::util

@@ -1,0 +1,41 @@
+// Aligned-column plain-text table printer.
+//
+// The benchmark binaries regenerate the paper's tables as text; this class
+// collects rows of heterogeneous cells and prints them with aligned columns
+// so the output is directly comparable across runs and pasteable into
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hhc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+  /// Doubles are rendered with `precision` digits after the decimal point.
+  Table& add(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Render with a header line, a rule, and one line per row.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace hhc::util

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hhc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock{mutex_};
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::min(n, workers_.size() * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  for (std::size_t b = begin; b < end; b += chunk) {
+    const std::size_t hi = std::min(end, b + chunk);
+    submit([&body, b, hi] {
+      for (std::size_t i = b; i < hi; ++i) body(i);
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with an empty queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock{mutex_};
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock{mutex_};
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace hhc::util

@@ -1,0 +1,56 @@
+// Minimal work-stealing-free thread pool for embarrassingly parallel sweeps.
+//
+// The experiment harnesses construct disjoint paths for thousands of node
+// pairs; `parallel_for` partitions an index range into contiguous blocks and
+// runs one block per worker. Exceptions thrown by tasks are captured and
+// rethrown on the caller's thread (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hhc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use wait_idle() to synchronize).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  /// Rethrows the first task exception, if any.
+  void wait_idle();
+
+  /// Run `body(i)` for every i in [begin, end), split into contiguous
+  /// blocks across the pool. Blocks until complete; rethrows task errors.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hhc::util

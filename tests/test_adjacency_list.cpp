@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/adjacency_list.hpp"
+
+namespace hhc::graph {
+namespace {
+
+TEST(AdjacencyList, EmptyGraph) {
+  const AdjacencyList g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(AdjacencyList, AddEdgeBothDirections) {
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(AdjacencyList, RejectsSelfLoop) {
+  AdjacencyList g{2};
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(AdjacencyList, RejectsDuplicateEdge) {
+  AdjacencyList g{3};
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(AdjacencyList, RejectsOutOfRange) {
+  AdjacencyList g{3};
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(7, 0), std::invalid_argument);
+}
+
+TEST(AdjacencyList, HasEdgeOutOfRangeIsFalse) {
+  AdjacencyList g{2};
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(AdjacencyList, NeighborsSpanReflectsInsertions) {
+  AdjacencyList g{4};
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  const auto nbrs = g.neighbors(2);
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(AdjacencyList, MinDegree) {
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_EQ(g.min_degree(), 0u);  // vertex 3 is isolated
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+TEST(AdjacencyList, FromImplicitBuildsCycle) {
+  const auto g = AdjacencyList::from_implicit(5, [](Vertex v) {
+    return std::vector<Vertex>{(v + 1) % 5, (v + 4) % 5};
+  });
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+}  // namespace
+}  // namespace hhc::graph

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+
+namespace hhc::graph {
+namespace {
+
+// Path graph 0 - 1 - 2 - 3 - 4.
+AdjacencyList path_graph(std::size_t n) {
+  AdjacencyList g{n};
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+// 4-cycle plus an isolated vertex.
+AdjacencyList cycle_plus_isolated() {
+  AdjacencyList g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  return g;
+}
+
+TEST(Bfs, DistancesOnPathGraph) {
+  const auto g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, DistancesFromMiddle) {
+  const auto g = path_graph(5);
+  const auto dist = bfs_distances(g, 2);
+  EXPECT_EQ(dist[0], 2u);
+  EXPECT_EQ(dist[4], 2u);
+  EXPECT_EQ(dist[2], 0u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const auto g = cycle_plus_isolated();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Bfs, ShortestPathEndpoints) {
+  const auto g = path_graph(6);
+  const auto p = bfs_shortest_path(g, 1, 4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 1u);
+  EXPECT_EQ(p.back(), 4u);
+}
+
+TEST(Bfs, ShortestPathTrivial) {
+  const auto g = path_graph(3);
+  const auto p = bfs_shortest_path(g, 2, 2);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 2u);
+}
+
+TEST(Bfs, ShortestPathUnreachableIsEmpty) {
+  const auto g = cycle_plus_isolated();
+  EXPECT_TRUE(bfs_shortest_path(g, 0, 4).empty());
+}
+
+TEST(Bfs, ShortestPathPicksMinimumLength) {
+  // Two routes 0->3: direct edge vs a long path; BFS must take the short one.
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  EXPECT_EQ(bfs_shortest_path(g, 0, 3).size(), 2u);
+}
+
+TEST(Bfs, EccentricityAndDiameter) {
+  const auto g = path_graph(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Bfs, DiameterDisconnected) {
+  const auto g = cycle_plus_isolated();
+  EXPECT_EQ(diameter(g), kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Bfs, ConnectedGraph) {
+  EXPECT_TRUE(is_connected(path_graph(4)));
+  EXPECT_TRUE(is_connected(AdjacencyList{}));
+}
+
+TEST(Bfs, RejectsBadSource) {
+  const auto g = path_graph(3);
+  EXPECT_THROW((void)bfs_distances(g, 9), std::invalid_argument);
+  EXPECT_THROW((void)bfs_shortest_path(g, 0, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::graph

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+
+namespace hhc::bits {
+namespace {
+
+TEST(Bitops, Popcount) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(1), 1);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(popcount(~std::uint64_t{0}), 64);
+}
+
+TEST(Bitops, TestSetClearFlip) {
+  std::uint64_t v = 0;
+  v = set(v, 5);
+  EXPECT_TRUE(test(v, 5));
+  EXPECT_FALSE(test(v, 4));
+  v = flip(v, 5);
+  EXPECT_FALSE(test(v, 5));
+  v = set(v, 63);
+  EXPECT_TRUE(test(v, 63));
+  v = clear(v, 63);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, Extract) {
+  const std::uint64_t v = 0b110101101;
+  EXPECT_EQ(extract(v, 0, 3), 0b101u);
+  EXPECT_EQ(extract(v, 3, 3), 0b101u);
+  EXPECT_EQ(extract(v, 6, 3), 0b110u);
+}
+
+TEST(Bitops, LowestHighestSet) {
+  EXPECT_EQ(lowest_set(0b1000), 3u);
+  EXPECT_EQ(highest_set(0b1000), 3u);
+  EXPECT_EQ(lowest_set(0b101000), 3u);
+  EXPECT_EQ(highest_set(0b101000), 5u);
+  EXPECT_EQ(lowest_set(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Bitops, Hamming) {
+  EXPECT_EQ(hamming(0, 0), 0);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming(0b1111, 0b1110), 1);
+}
+
+TEST(Bitops, IsPow2AndPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), std::uint64_t{1} << 63);
+}
+
+TEST(Bitops, ConstexprUsable) {
+  static_assert(popcount(0b111) == 3);
+  static_assert(flip(0b100, 2) == 0);
+  static_assert(hamming(0b1100, 0b0011) == 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hhc::bits

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/broadcast.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(Broadcast, ValidScheduleFromCornerRoot) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const HhcTopology net{m};
+    const auto schedule = broadcast_schedule(net, 0);
+    EXPECT_TRUE(verify_broadcast_schedule(net, schedule, 0)) << "m=" << m;
+    EXPECT_EQ(schedule.message_count(), net.node_count() - 1) << "m=" << m;
+  }
+}
+
+TEST(Broadcast, ValidFromEveryRootM1M2) {
+  for (unsigned m = 1; m <= 2; ++m) {
+    const HhcTopology net{m};
+    for (Node root = 0; root < net.node_count(); ++root) {
+      const auto schedule = broadcast_schedule(net, root);
+      EXPECT_TRUE(verify_broadcast_schedule(net, schedule, root))
+          << "m=" << m << " root=" << root;
+    }
+  }
+}
+
+TEST(Broadcast, ValidAtScaleM4) {
+  const HhcTopology net{4};
+  const auto schedule = broadcast_schedule(net, net.encode(12345, 7));
+  EXPECT_TRUE(verify_broadcast_schedule(net, schedule, net.encode(12345, 7)));
+  EXPECT_EQ(schedule.message_count(), net.node_count() - 1);
+}
+
+TEST(Broadcast, RoundCountWithinDesignEnvelope) {
+  for (unsigned m = 1; m <= 4; ++m) {
+    const HhcTopology net{m};
+    const auto schedule = broadcast_schedule(net, 0);
+    // m initial rounds + per X-dimension: 1 crossing + m internal rounds.
+    const std::size_t envelope =
+        m + net.cluster_dimensions() * (m + 1);
+    EXPECT_LE(schedule.round_count(), envelope) << "m=" << m;
+    EXPECT_GE(schedule.round_count(), broadcast_lower_bound(net)) << "m=" << m;
+  }
+}
+
+TEST(Broadcast, LowerBoundIsLogN) {
+  EXPECT_EQ(broadcast_lower_bound(HhcTopology{2}), 6u);
+  EXPECT_EQ(broadcast_lower_bound(HhcTopology{3}), 11u);
+}
+
+TEST(Broadcast, RejectsBadInput) {
+  const HhcTopology small{2};
+  EXPECT_THROW((void)broadcast_schedule(small, small.node_count()),
+               std::invalid_argument);
+  const HhcTopology big{5};
+  EXPECT_THROW((void)broadcast_schedule(big, 0), std::invalid_argument);
+}
+
+TEST(Reduction, ValidFromEveryRootM1M2) {
+  for (unsigned m = 1; m <= 2; ++m) {
+    const HhcTopology net{m};
+    for (Node root = 0; root < net.node_count(); ++root) {
+      const auto schedule = reduction_schedule(net, root);
+      EXPECT_TRUE(verify_reduction_schedule(net, schedule, root))
+          << "m=" << m << " root=" << root;
+      EXPECT_EQ(schedule.message_count(), net.node_count() - 1);
+    }
+  }
+}
+
+TEST(Reduction, ValidAtScaleM3M4) {
+  for (unsigned m = 3; m <= 4; ++m) {
+    const HhcTopology net{m};
+    const Node root = net.encode(net.cluster_count() / 3, 1);
+    const auto schedule = reduction_schedule(net, root);
+    EXPECT_TRUE(verify_reduction_schedule(net, schedule, root)) << "m=" << m;
+  }
+}
+
+TEST(Reduction, MirrorsBroadcastRoundCount) {
+  const HhcTopology net{2};
+  EXPECT_EQ(reduction_schedule(net, 5).round_count(),
+            broadcast_schedule(net, 5).round_count());
+}
+
+TEST(Reduction, VerifierCatchesViolations) {
+  const HhcTopology net{1};
+  const auto schedule = reduction_schedule(net, 0);
+  ASSERT_TRUE(verify_reduction_schedule(net, schedule, 0));
+
+  // Wrong root: the root must never send, and accumulation lands wrong.
+  EXPECT_FALSE(verify_reduction_schedule(net, schedule, 3));
+
+  // Tamper: duplicate a transmission -> double send.
+  auto dup = schedule;
+  dup.rounds.back().push_back(dup.rounds.front().front());
+  EXPECT_FALSE(verify_reduction_schedule(net, dup, 0));
+
+  // Tamper: drop a round -> some node never contributes.
+  auto truncated = schedule;
+  truncated.rounds.pop_back();
+  EXPECT_FALSE(verify_reduction_schedule(net, truncated, 0));
+}
+
+TEST(Broadcast, VerifierCatchesViolations) {
+  const HhcTopology net{1};
+  auto schedule = broadcast_schedule(net, 0);
+  ASSERT_TRUE(verify_broadcast_schedule(net, schedule, 0));
+
+  // Tamper: non-edge transmission.
+  auto bad1 = schedule;
+  bad1.rounds[0][0].second = bad1.rounds[0][0].first;
+  EXPECT_FALSE(verify_broadcast_schedule(net, bad1, 0));
+
+  // Tamper: drop a round -> incomplete coverage.
+  auto bad2 = schedule;
+  bad2.rounds.pop_back();
+  EXPECT_FALSE(verify_broadcast_schedule(net, bad2, 0));
+
+  // Wrong root: senders not informed.
+  EXPECT_FALSE(verify_broadcast_schedule(net, schedule, 7));
+}
+
+}  // namespace
+}  // namespace hhc::core

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/container_cache.hpp"
+#include "core/metrics.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(ContainerCache, MatchesDirectConstructionExactly) {
+  const HhcTopology net{3};
+  ContainerCache cache{net};
+  for (const auto& [s, t] : sample_pairs(net, 300, 77)) {
+    const auto direct = node_disjoint_paths(net, s, t);
+    const auto cached = cache.paths(s, t);
+    ASSERT_EQ(cached.paths.size(), direct.paths.size());
+    for (std::size_t i = 0; i < direct.paths.size(); ++i) {
+      EXPECT_EQ(cached.paths[i], direct.paths[i]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ContainerCache, TranslatedPairsHitTheCache) {
+  const HhcTopology net{3};
+  ContainerCache cache{net};
+  const std::uint64_t ys = 2;
+  const std::uint64_t yt = 5;
+  const std::uint64_t xdiff = 0b10011010;
+  // Same canonical triple under many translations: one miss, rest hits.
+  for (std::uint64_t a = 0; a < 40; ++a) {
+    const Node s = net.encode(a, ys);
+    const Node t = net.encode(a ^ xdiff, yt);
+    const auto set = cache.paths(s, t);
+    std::string why;
+    EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 39u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ContainerCache, DistinctTriplesMiss) {
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  (void)cache.paths(net.encode(0, 0), net.encode(1, 1));
+  (void)cache.paths(net.encode(0, 0), net.encode(2, 1));  // different xdiff
+  (void)cache.paths(net.encode(0, 1), net.encode(1, 0));  // different ys/yt
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ContainerCache, SameClusterPairsWork) {
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  const Node s = net.encode(7, 0);
+  const Node t = net.encode(7, 3);
+  const auto set = cache.paths(s, t);
+  std::string why;
+  EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
+  // A second same-cluster pair with the same positions hits.
+  (void)cache.paths(net.encode(9, 0), net.encode(9, 3));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ContainerCache, ClearResetsStorage) {
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  (void)cache.paths(0, 63);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ContainerCache, RejectsBadInput) {
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  EXPECT_THROW((void)cache.paths(3, 3), std::invalid_argument);
+  EXPECT_THROW((void)cache.paths(0, net.node_count()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::core

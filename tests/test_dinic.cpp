@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/dinic.hpp"
+
+namespace hhc::graph {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic net{2};
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(Dinic, SeriesTakesMinimum) {
+  Dinic net{3};
+  net.add_edge(0, 1, 7);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPathsSum) {
+  Dinic net{4};
+  net.add_edge(0, 1, 2);
+  net.add_edge(1, 3, 2);
+  net.add_edge(0, 2, 3);
+  net.add_edge(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(Dinic, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  Dinic net{6};
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 3, 12);
+  net.add_edge(2, 1, 4);
+  net.add_edge(2, 4, 14);
+  net.add_edge(3, 2, 9);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 3, 7);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic net{4};
+  net.add_edge(0, 1, 10);
+  net.add_edge(2, 3, 10);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(Dinic, RequiresAugmentingThroughReverseEdges) {
+  // The greedy path 0-1-2-3 blocks the naive algorithm; max flow needs the
+  // residual reverse edge. Classic "flow cancellation" diamond.
+  Dinic net{4};
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(Dinic, FlowOnReportsPerEdgeFlow) {
+  Dinic net{3};
+  const auto e01 = net.add_edge(0, 1, 4);
+  const auto e12 = net.add_edge(1, 2, 2);
+  EXPECT_EQ(net.max_flow(0, 2), 2);
+  EXPECT_EQ(net.flow_on(e01), 2);
+  EXPECT_EQ(net.flow_on(e12), 2);
+}
+
+TEST(Dinic, RejectsBadInput) {
+  Dinic net{2};
+  EXPECT_THROW(net.add_edge(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(net.add_edge(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW((void)net.max_flow(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)net.max_flow(0, 9), std::invalid_argument);
+}
+
+TEST(Dinic, ZeroCapacityEdgeCarriesNothing) {
+  Dinic net{2};
+  net.add_edge(0, 1, 0);
+  EXPECT_EQ(net.max_flow(0, 1), 0);
+}
+
+TEST(Dinic, LargeUnitBipartiteMatching) {
+  // Complete bipartite K_{8,8} with unit capacities: max flow = 8.
+  constexpr std::uint32_t n = 8;
+  Dinic net{2 * n + 2};
+  const std::uint32_t s = 2 * n;
+  const std::uint32_t t = 2 * n + 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net.add_edge(s, i, 1);
+    net.add_edge(n + i, t, 1);
+    for (std::uint32_t j = 0; j < n; ++j) net.add_edge(i, n + j, 1);
+  }
+  EXPECT_EQ(net.max_flow(s, t), 8);
+}
+
+}  // namespace
+}  // namespace hhc::graph

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "core/dispersal.hpp"
+
+namespace hhc::core {
+namespace {
+
+std::vector<std::uint8_t> make_message(std::size_t n) {
+  std::vector<std::uint8_t> msg(n);
+  std::iota(msg.begin(), msg.end(), std::uint8_t{1});
+  return msg;
+}
+
+TEST(Dispersal, ProducesMPlusOneFragments) {
+  const HhcTopology net{3};
+  const auto msg = make_message(100);
+  const auto plan = disperse(net, net.encode(0, 0), net.encode(100, 5), msg);
+  EXPECT_EQ(plan.fragments.size(), 4u);
+  EXPECT_EQ(plan.message_size, 100u);
+  EXPECT_EQ(plan.block_size, 34u);  // ceil(100 / 3)
+}
+
+TEST(Dispersal, FragmentsTravelDisjointPaths) {
+  const HhcTopology net{2};
+  const Node s = net.encode(1, 1);
+  const Node t = net.encode(14, 2);
+  const auto plan = disperse(net, s, t, make_message(64));
+  std::string why;
+  DisjointPathSet set;
+  for (const auto& f : plan.fragments) set.paths.push_back(f.path);
+  EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
+}
+
+TEST(Dispersal, ReassembleFromAllFragments) {
+  const HhcTopology net{3};
+  const auto msg = make_message(77);
+  const auto plan = disperse(net, net.encode(2, 2), net.encode(50, 1), msg);
+  const auto out =
+      reassemble(net.m(), plan.block_size, plan.message_size, plan.fragments);
+  EXPECT_EQ(out, msg);
+}
+
+TEST(Dispersal, ReassembleSurvivesAnySingleLoss) {
+  const HhcTopology net{3};
+  const auto msg = make_message(101);
+  const auto plan = disperse(net, net.encode(9, 0), net.encode(77, 7), msg);
+  for (std::size_t drop = 0; drop < plan.fragments.size(); ++drop) {
+    std::vector<Fragment> received;
+    for (std::size_t i = 0; i < plan.fragments.size(); ++i) {
+      if (i != drop) received.push_back(plan.fragments[i]);
+    }
+    const auto out =
+        reassemble(net.m(), plan.block_size, plan.message_size, received);
+    EXPECT_EQ(out, msg) << "dropped fragment " << drop;
+  }
+}
+
+TEST(Dispersal, FailsWithTwoLosses) {
+  const HhcTopology net{2};
+  const auto msg = make_message(40);
+  const auto plan = disperse(net, net.encode(0, 0), net.encode(5, 1), msg);
+  std::vector<Fragment> received{plan.fragments[0]};  // only 1 of 3
+  EXPECT_THROW(
+      (void)reassemble(net.m(), plan.block_size, plan.message_size, received),
+      std::invalid_argument);
+}
+
+TEST(Dispersal, EmptyMessageRoundTrips) {
+  const HhcTopology net{2};
+  const auto plan = disperse(net, net.encode(0, 0), net.encode(3, 3), {});
+  const auto out =
+      reassemble(net.m(), plan.block_size, plan.message_size, plan.fragments);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Dispersal, MessageShorterThanM) {
+  const HhcTopology net{3};  // m = 3 blocks, 2-byte message
+  const auto msg = make_message(2);
+  const auto plan = disperse(net, net.encode(1, 0), net.encode(2, 1), msg);
+  const auto out =
+      reassemble(net.m(), plan.block_size, plan.message_size, plan.fragments);
+  EXPECT_EQ(out, msg);
+}
+
+TEST(Dispersal, ParityBlockIsXorOfDataBlocks) {
+  const HhcTopology net{2};
+  const auto msg = make_message(10);
+  const auto plan = disperse(net, net.encode(0, 0), net.encode(9, 1), msg);
+  ASSERT_EQ(plan.fragments.size(), 3u);
+  for (std::size_t j = 0; j < plan.block_size; ++j) {
+    const std::uint8_t expected = static_cast<std::uint8_t>(
+        plan.fragments[0].block[j] ^ plan.fragments[1].block[j]);
+    EXPECT_EQ(plan.fragments[2].block[j], expected);
+  }
+}
+
+TEST(Dispersal, CompletionStepsIsMthSmallestLength) {
+  const HhcTopology net{2};
+  const auto plan =
+      disperse(net, net.encode(0, 0), net.encode(15, 3), make_message(30));
+  std::vector<std::size_t> lengths;
+  for (const auto& f : plan.fragments) lengths.push_back(f.path.size() - 1);
+  std::sort(lengths.begin(), lengths.end());
+  EXPECT_EQ(plan.parallel_completion_steps(), lengths[lengths.size() - 2]);
+}
+
+TEST(Dispersal, ReassembleRejectsMalformedFragments) {
+  const HhcTopology net{2};
+  const auto plan =
+      disperse(net, net.encode(0, 0), net.encode(7, 2), make_message(16));
+  auto bad = plan.fragments;
+  bad[0].index = 99;
+  EXPECT_THROW((void)reassemble(net.m(), plan.block_size, plan.message_size, bad),
+               std::invalid_argument);
+  auto wrong_size = plan.fragments;
+  wrong_size[1].block.pop_back();
+  EXPECT_THROW((void)reassemble(net.m(), plan.block_size, plan.message_size,
+                                wrong_size),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+#include "cube/hypercube.hpp"
+#include "graph/edge_disjoint.hpp"
+
+namespace hhc::graph {
+namespace {
+
+AdjacencyList complete(std::size_t n) {
+  AdjacencyList g{n};
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+TEST(EdgeDisjoint, CompleteGraphConnectivity) {
+  const auto g = complete(5);
+  EXPECT_EQ(edge_connectivity_between(g, 0, 4), 4u);
+}
+
+TEST(EdgeDisjoint, PathsAreEdgeDisjointAndValid) {
+  const auto g = complete(5);
+  const auto paths = max_edge_disjoint_paths(g, 0, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 4u);
+  }
+  EXPECT_TRUE(paths_are_edge_disjoint(g, paths));
+}
+
+TEST(EdgeDisjoint, LimitRespected) {
+  const auto g = complete(6);
+  EXPECT_EQ(max_edge_disjoint_paths(g, 0, 5, 2).size(), 2u);
+}
+
+TEST(EdgeDisjoint, BridgeGivesOne) {
+  // Two triangles joined by a single bridge edge.
+  AdjacencyList g{6};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);  // bridge
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  EXPECT_EQ(edge_connectivity_between(g, 0, 5), 1u);
+  const auto paths = max_edge_disjoint_paths(g, 0, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths_are_edge_disjoint(g, paths));
+}
+
+TEST(EdgeDisjoint, EdgeVsVertexConnectivityOnCutVertex) {
+  // A graph where the vertex cut is 1 but the edge cut is 2: two triangles
+  // sharing vertex 2.
+  AdjacencyList g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  EXPECT_EQ(edge_connectivity_between(g, 0, 4), 2u);
+  const auto paths = max_edge_disjoint_paths(g, 0, 4);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(paths_are_edge_disjoint(g, paths));
+}
+
+TEST(EdgeDisjoint, HypercubeEdgeConnectivityEqualsN) {
+  for (unsigned n = 2; n <= 5; ++n) {
+    const auto g = cube::Hypercube{n}.explicit_graph();
+    EXPECT_EQ(edge_connectivity_between(g, 0, (1u << n) - 1), n);
+    const auto paths = max_edge_disjoint_paths(g, 0, (1u << n) - 1);
+    EXPECT_EQ(paths.size(), n);
+    EXPECT_TRUE(paths_are_edge_disjoint(g, paths));
+  }
+}
+
+TEST(EdgeDisjoint, HhcEdgeConnectivityEqualsDegree) {
+  // For the (m+1)-regular HHC, edge connectivity also equals m+1.
+  for (unsigned m = 1; m <= 2; ++m) {
+    const core::HhcTopology net{m};
+    const auto g = net.explicit_graph();
+    for (Vertex s = 0; s < net.node_count(); s += 5) {
+      for (Vertex t = 0; t < net.node_count(); t += 7) {
+        if (s == t) continue;
+        EXPECT_EQ(edge_connectivity_between(g, s, t), net.degree())
+            << "m=" << m << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(EdgeDisjoint, TwoCycleFlowsCancelled) {
+  // A diamond where naive decomposition could route through both
+  // directions of the middle edge; the result must still be edge-disjoint.
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto paths = max_edge_disjoint_paths(g, 0, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(paths_are_edge_disjoint(g, paths));
+}
+
+TEST(EdgeDisjoint, ValidatorCatchesReuse) {
+  const auto g = complete(4);
+  const std::vector<VertexPath> good{{0, 1, 3}, {0, 2, 3}};
+  EXPECT_TRUE(paths_are_edge_disjoint(g, good));
+  const std::vector<VertexPath> reuse{{0, 1, 3}, {0, 1, 2, 3}};
+  EXPECT_FALSE(paths_are_edge_disjoint(g, reuse));
+  const std::vector<VertexPath> nonedge{{0, 1}, {1, 1}};
+  EXPECT_FALSE(paths_are_edge_disjoint(g, nonedge));
+}
+
+TEST(EdgeDisjoint, RejectsDegenerate) {
+  const auto g = complete(3);
+  EXPECT_THROW((void)max_edge_disjoint_paths(g, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)edge_connectivity_between(g, 0, 7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::graph

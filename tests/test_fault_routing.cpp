@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fault_routing.hpp"
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(FaultRouting, NoFaultsAlwaysSucceeds) {
+  const HhcTopology net{2};
+  const FaultSet none;
+  for (const auto& [s, t] : sample_pairs(net, 100, 2)) {
+    const auto r = route_avoiding(net, s, t, none);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(is_valid_path(net, r.path, s, t));
+    EXPECT_EQ(r.paths_blocked, 0u);
+  }
+}
+
+TEST(FaultRouting, GuaranteedUnderMFaults) {
+  // The core guarantee: any fault set of size <= m (excluding endpoints)
+  // leaves at least one of the m+1 disjoint paths intact.
+  for (unsigned m = 1; m <= 4; ++m) {
+    const HhcTopology net{m};
+    util::Xoshiro256 rng{77};
+    for (const auto& [s, t] : sample_pairs(net, 150, m)) {
+      const auto faults = FaultSet::random(net, m, s, t, rng);
+      const auto r = route_avoiding(net, s, t, faults);
+      ASSERT_TRUE(r.ok()) << "m=" << m << " s=" << s << " t=" << t;
+      EXPECT_TRUE(is_valid_path(net, r.path, s, t));
+      for (const Node v : r.path) EXPECT_FALSE(faults.is_faulty(v));
+    }
+  }
+}
+
+TEST(FaultRouting, AdversarialFaultsOnNeighbors) {
+  // Worst case: block m of the m+1 source neighbors; the remaining path
+  // must still get through.
+  const HhcTopology net{3};
+  const Node s = net.encode(5, 0b010);
+  const Node t = net.encode(200, 0b101);
+  const auto nbrs = net.neighbors(s);
+  FaultSet faults;
+  for (unsigned i = 0; i < net.m(); ++i) faults.mark_faulty(nbrs[i]);
+  const auto r = route_avoiding(net, s, t, faults);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.paths_blocked, net.m());
+  // The surviving path must leave via the external edge.
+  EXPECT_EQ(r.path[1], net.external_neighbor(s));
+}
+
+TEST(FaultRouting, ReportsBlockedCount) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(15, 3);
+  const auto container = node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);  // break exactly one path
+  const auto r = route_avoiding(net, s, t, faults);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.paths_blocked, 1u);
+}
+
+TEST(FaultRouting, PicksShortestSurvivingPath) {
+  const HhcTopology net{2};
+  const Node s = net.encode(3, 1);
+  const Node t = net.encode(12, 2);
+  const auto container = node_disjoint_paths(net, s, t);
+  // Block every path except the longest one; then block nothing: result
+  // must never be longer than the unblocked shortest member.
+  const auto unblocked = route_avoiding(net, s, t, FaultSet{});
+  EXPECT_EQ(unblocked.path.size() - 1, container.min_length());
+}
+
+TEST(FaultRouting, ThrowsOnFaultyEndpoint) {
+  const HhcTopology net{2};
+  FaultSet faults;
+  faults.mark_faulty(0);
+  EXPECT_THROW((void)route_avoiding(net, 0, 5, faults), std::invalid_argument);
+  EXPECT_THROW((void)route_avoiding(net, 5, 0, faults), std::invalid_argument);
+}
+
+TEST(FaultRouting, RandomFaultSetProperties) {
+  const HhcTopology net{3};
+  util::Xoshiro256 rng{5};
+  const auto faults = FaultSet::random(net, 50, 1, 2, rng);
+  EXPECT_EQ(faults.size(), 50u);
+  EXPECT_FALSE(faults.is_faulty(1));
+  EXPECT_FALSE(faults.is_faulty(2));
+  for (const Node v : faults.nodes()) EXPECT_TRUE(net.contains(v));
+}
+
+TEST(FaultRouting, RandomFaultSetRejectsOverfill) {
+  const HhcTopology net{1};  // 8 nodes
+  util::Xoshiro256 rng{5};
+  EXPECT_THROW((void)FaultSet::random(net, 7, 0, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultRouting, CanFailBeyondGuarantee) {
+  // With enough faults it must be possible to cut every path; the router
+  // then reports failure rather than returning something invalid.
+  const HhcTopology net{1};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(3, 1);
+  FaultSet faults;
+  for (const Node v : net.neighbors(s)) faults.mark_faulty(v);
+  const auto r = route_avoiding(net, s, t, faults);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.paths_blocked, net.degree());
+}
+
+}  // namespace
+}  // namespace hhc::core

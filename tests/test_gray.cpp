@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cube/gray.hpp"
+#include "util/bitops.hpp"
+
+namespace hhc::cube {
+namespace {
+
+TEST(Gray, FirstCodewords) {
+  EXPECT_EQ(gray(0), 0u);
+  EXPECT_EQ(gray(1), 1u);
+  EXPECT_EQ(gray(2), 3u);
+  EXPECT_EQ(gray(3), 2u);
+  EXPECT_EQ(gray(4), 6u);
+}
+
+TEST(Gray, RankInvertsGray) {
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(gray_rank(gray(i)), i);
+    EXPECT_EQ(gray(gray_rank(i)), i);
+  }
+}
+
+TEST(Gray, CycleVisitsEveryWordOnce) {
+  const auto cycle = gray_cycle(5);
+  ASSERT_EQ(cycle.size(), 32u);
+  const std::set<std::uint64_t> distinct(cycle.begin(), cycle.end());
+  EXPECT_EQ(distinct.size(), 32u);
+  for (const auto v : cycle) EXPECT_LT(v, 32u);
+}
+
+TEST(Gray, ConsecutiveCodewordsDifferByOneBit) {
+  const auto cycle = gray_cycle(6);
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const auto next = cycle[(i + 1) % cycle.size()];
+    EXPECT_EQ(bits::hamming(cycle[i], next), 1)
+        << "at index " << i << ": " << cycle[i] << " -> " << next;
+  }
+}
+
+TEST(Gray, CycleRejectsBadM) {
+  EXPECT_THROW((void)gray_cycle(0), std::invalid_argument);
+  EXPECT_THROW((void)gray_cycle(21), std::invalid_argument);
+}
+
+TEST(Gray, OrderAlongCycleSortsByRank) {
+  const std::vector<std::uint64_t> values{2, 1, 3, 0};
+  const auto ordered = order_along_gray_cycle(values);
+  // Ranks: gray_rank(0)=0, (1)=1, (3)=2, (2)=3.
+  const std::vector<std::uint64_t> expected{0, 1, 3, 2};
+  EXPECT_EQ(ordered, expected);
+}
+
+TEST(Gray, OrderedSubsetHammingSumBounded) {
+  // Key property used by the length analysis: for any subset of m-bit
+  // words ordered along the Gray cycle, the cyclic sum of Hamming
+  // distances between consecutive elements is at most 2^m.
+  constexpr unsigned m = 5;
+  const std::vector<std::uint64_t> subset{3, 17, 9, 30, 12, 5, 24};
+  const auto ordered = order_along_gray_cycle(subset);
+  int total = 0;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    total += bits::hamming(ordered[i], ordered[(i + 1) % ordered.size()]);
+  }
+  EXPECT_LE(total, 1 << m);
+}
+
+TEST(Gray, EmptyAndSingletonOrder) {
+  EXPECT_TRUE(order_along_gray_cycle({}).empty());
+  const auto one = order_along_gray_cycle({7});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+}  // namespace
+}  // namespace hhc::cube

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+#include "cube/folded.hpp"
+#include "cube/gray.hpp"
+#include "cube/hypercube.hpp"
+#include "graph/hamiltonian.hpp"
+
+namespace hhc::graph {
+namespace {
+
+AdjacencyList cycle_graph(std::size_t n) {
+  AdjacencyList g{n};
+  for (Vertex v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<Vertex>((v + 1) % n));
+  }
+  return g;
+}
+
+TEST(Hamiltonian, FindsCycleGraphItself) {
+  const auto g = cycle_graph(6);
+  const auto r = find_hamiltonian_cycle(g);
+  ASSERT_EQ(r.status, HamiltonianStatus::kFound);
+  EXPECT_TRUE(is_hamiltonian_cycle(g, r.cycle));
+}
+
+TEST(Hamiltonian, ProvesAbsenceOnTree) {
+  AdjacencyList g{4};  // star: no cycle at all
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(find_hamiltonian_cycle(g).status, HamiltonianStatus::kNone);
+}
+
+TEST(Hamiltonian, ProvesAbsenceOnBipartiteOddTrap) {
+  // K_{1,2} plus an edge: a path of 3; no Hamiltonian cycle.
+  AdjacencyList g{3};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(find_hamiltonian_cycle(g).status, HamiltonianStatus::kNone);
+}
+
+TEST(Hamiltonian, StepBudgetReportsExhausted) {
+  const auto g = cube::Hypercube{6}.explicit_graph();
+  const auto r = find_hamiltonian_cycle(g, /*max_steps=*/3);
+  EXPECT_EQ(r.status, HamiltonianStatus::kExhausted);
+}
+
+TEST(Hamiltonian, HypercubesAreHamiltonian) {
+  for (unsigned n = 2; n <= 6; ++n) {
+    const auto g = cube::Hypercube{n}.explicit_graph();
+    const auto r = find_hamiltonian_cycle(g);
+    ASSERT_EQ(r.status, HamiltonianStatus::kFound) << "n=" << n;
+    EXPECT_TRUE(is_hamiltonian_cycle(g, r.cycle)) << "n=" << n;
+  }
+}
+
+TEST(Hamiltonian, GrayCycleIsAHamiltonianWitness) {
+  // Independent witness: the reflected Gray cycle is a Hamiltonian cycle
+  // of Q_n — validating both gray_cycle() and the verifier.
+  const auto g = cube::Hypercube{5}.explicit_graph();
+  auto cycle = cube::gray_cycle(5);
+  VertexPath vp;
+  for (const auto v : cycle) vp.push_back(static_cast<Vertex>(v));
+  vp.push_back(vp.front());
+  EXPECT_TRUE(is_hamiltonian_cycle(g, vp));
+}
+
+TEST(Hamiltonian, FoldedHypercubeIsHamiltonian) {
+  const auto g = cube::FoldedHypercube{4}.explicit_graph();
+  const auto r = find_hamiltonian_cycle(g);
+  ASSERT_EQ(r.status, HamiltonianStatus::kFound);
+  EXPECT_TRUE(is_hamiltonian_cycle(g, r.cycle));
+}
+
+TEST(Hamiltonian, HhcIsHamiltonianUpToM2) {
+  // Ring embedding of the HHC, established by exact search: m = 1 is a
+  // plain 8-cycle (the network is 2-regular and connected), m = 2 (64
+  // nodes) is found within the budget. m >= 3 is beyond exact search.
+  for (unsigned m = 1; m <= 2; ++m) {
+    const core::HhcTopology net{m};
+    const auto g = net.explicit_graph();
+    const auto r = find_hamiltonian_cycle(g);
+    ASSERT_EQ(r.status, HamiltonianStatus::kFound) << "m=" << m;
+    EXPECT_TRUE(is_hamiltonian_cycle(g, r.cycle)) << "m=" << m;
+  }
+}
+
+TEST(Hamiltonian, VerifierRejectsBadCycles) {
+  const auto g = cycle_graph(5);
+  const auto r = find_hamiltonian_cycle(g);
+  ASSERT_EQ(r.status, HamiltonianStatus::kFound);
+  auto open = r.cycle;
+  open.pop_back();
+  EXPECT_FALSE(is_hamiltonian_cycle(g, open));
+  auto repeat = r.cycle;
+  repeat[1] = repeat[3];
+  EXPECT_FALSE(is_hamiltonian_cycle(g, repeat));
+  EXPECT_FALSE(is_hamiltonian_cycle(g, {}));
+}
+
+TEST(Hamiltonian, RejectsEmptyGraph) {
+  EXPECT_THROW((void)find_hamiltonian_cycle(AdjacencyList{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::graph

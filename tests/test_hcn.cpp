@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cube/hcn.hpp"
+#include "graph/bfs.hpp"
+#include "graph/vertex_disjoint.hpp"
+#include "util/rng.hpp"
+
+namespace hhc::cube {
+namespace {
+
+TEST(Hcn, RejectsBadN) {
+  EXPECT_THROW(HierarchicalCubic{0}, std::invalid_argument);
+  EXPECT_THROW(HierarchicalCubic{32}, std::invalid_argument);
+}
+
+TEST(Hcn, BasicParameters) {
+  const HierarchicalCubic hcn{3};
+  EXPECT_EQ(hcn.node_count(), 64u);
+  EXPECT_EQ(hcn.degree(), 4u);
+  EXPECT_EQ(hcn.cluster_of(hcn.encode(5, 2)), 5u);
+  EXPECT_EQ(hcn.position_of(hcn.encode(5, 2)), 2u);
+}
+
+TEST(Hcn, SwapLinkSymmetric) {
+  const HierarchicalCubic hcn{3};
+  const auto v = hcn.encode(5, 2);
+  const auto u = hcn.external_neighbor(v);
+  EXPECT_EQ(u, hcn.encode(2, 5));
+  EXPECT_EQ(hcn.external_neighbor(u), v);
+}
+
+TEST(Hcn, DiameterLinkConnectsComplementaryDiagonal) {
+  const HierarchicalCubic hcn{3};
+  const auto v = hcn.encode(0b010, 0b010);
+  const auto u = hcn.external_neighbor(v);
+  EXPECT_EQ(u, hcn.encode(0b101, 0b101));
+  EXPECT_EQ(hcn.external_neighbor(u), v);
+}
+
+TEST(Hcn, NeighborRelationSymmetricAndRegular) {
+  const HierarchicalCubic hcn{2};
+  for (std::uint64_t v = 0; v < hcn.node_count(); ++v) {
+    const auto nbrs = hcn.neighbors(v);
+    const std::set<std::uint64_t> distinct(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(distinct.size(), hcn.degree());
+    EXPECT_EQ(distinct.count(v), 0u);
+    for (const auto u : nbrs) {
+      EXPECT_TRUE(hcn.is_edge(v, u));
+      EXPECT_TRUE(hcn.is_edge(u, v));
+    }
+  }
+}
+
+TEST(Hcn, ExplicitGraphConnectedAndRegular) {
+  for (unsigned n = 1; n <= 4; ++n) {
+    const HierarchicalCubic hcn{n};
+    const auto g = hcn.explicit_graph();
+    EXPECT_TRUE(graph::is_connected(g)) << "n=" << n;
+    EXPECT_EQ(g.min_degree(), hcn.degree()) << "n=" << n;
+    EXPECT_EQ(g.edge_count(), hcn.node_count() * hcn.degree() / 2);
+  }
+}
+
+TEST(Hcn, MeasuredDiametersAreStable) {
+  // Golden values from exhaustive BFS over this exact definition (swap +
+  // complementary diameter links); guards against topology regressions.
+  const unsigned expected[] = {2, 4, 5, 6, 8};
+  for (unsigned n = 1; n <= 5; ++n) {
+    const HierarchicalCubic hcn{n};
+    EXPECT_EQ(graph::diameter(hcn.explicit_graph()), expected[n - 1])
+        << "n=" << n;
+  }
+}
+
+TEST(Hcn, ConnectivityEqualsDegree) {
+  for (unsigned n = 2; n <= 4; ++n) {
+    const HierarchicalCubic hcn{n};
+    const auto g = hcn.explicit_graph();
+    util::Xoshiro256 rng{n};
+    for (int trial = 0; trial < 25; ++trial) {
+      const auto s = static_cast<graph::Vertex>(rng.below(hcn.node_count()));
+      const auto t = static_cast<graph::Vertex>(rng.below(hcn.node_count()));
+      if (s == t) continue;
+      EXPECT_EQ(graph::vertex_connectivity_between(g, s, t), hcn.degree())
+          << "n=" << n << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(Hcn, RouteIsValid) {
+  const HierarchicalCubic hcn{4};
+  util::Xoshiro256 rng{9};
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t s = rng.below(hcn.node_count());
+    const std::uint64_t t = rng.below(hcn.node_count());
+    const auto path = hcn.route(s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    std::set<std::uint64_t> seen;
+    for (const auto v : path) EXPECT_TRUE(seen.insert(v).second);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(hcn.is_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(Hcn, SwapRouteLengthBound) {
+  // Swap route: H(Ys, Xt) + 1 + H(Xs, Yt) <= 2n + 1 edges.
+  const HierarchicalCubic hcn{5};
+  util::Xoshiro256 rng{11};
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t s = rng.below(hcn.node_count());
+    const std::uint64_t t = rng.below(hcn.node_count());
+    const auto path = hcn.route(s, t);
+    EXPECT_LE(path.size() - 1, 2 * hcn.n() + 1);
+  }
+}
+
+TEST(Hcn, RouteNearOptimal) {
+  // The swap route ignores diameter links, so single pairs can pay up to
+  // the full 2n+1 envelope (e.g. diameter-link neighbors); on average the
+  // stretch over exact distances must stay small.
+  const HierarchicalCubic hcn{3};
+  const auto g = hcn.explicit_graph();
+  double stretch_sum = 0;
+  std::size_t pairs = 0;
+  for (std::uint64_t s = 0; s < hcn.node_count(); s += 5) {
+    const auto dist = graph::bfs_distances(g, static_cast<graph::Vertex>(s));
+    for (std::uint64_t t = 0; t < hcn.node_count(); ++t) {
+      if (s == t) continue;
+      const auto path = hcn.route(s, t);
+      const auto exact = dist[static_cast<graph::Vertex>(t)];
+      EXPECT_GE(path.size() - 1, exact);
+      EXPECT_LE(path.size() - 1, 2 * hcn.n() + 1);
+      stretch_sum += static_cast<double>(path.size() - 1) / exact;
+      ++pairs;
+    }
+  }
+  EXPECT_LT(stretch_sum / static_cast<double>(pairs), 1.5);
+}
+
+TEST(Hcn, ExplicitGraphRejectsHugeN) {
+  EXPECT_THROW((void)HierarchicalCubic{9}.explicit_graph(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::cube

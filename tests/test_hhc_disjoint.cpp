@@ -1,0 +1,253 @@
+// Unit tests of the disjoint-path construction: route selection structure,
+// endpoint-edge usage, and representative constructions across all the
+// case-analysis branches (a/b inside or outside D, same cluster, k = 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+
+namespace hhc::core {
+namespace {
+
+// Convenience: construct and fully verify, returning the container.
+DisjointPathSet build_checked(const HhcTopology& net, Node s, Node t) {
+  const auto set = node_disjoint_paths(net, s, t);
+  std::string why;
+  EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
+  return set;
+}
+
+TEST(HhcDisjoint, RejectsDegenerateInputs) {
+  const HhcTopology net{2};
+  EXPECT_THROW((void)node_disjoint_paths(net, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)node_disjoint_paths(net, 0, net.node_count()),
+               std::invalid_argument);
+}
+
+TEST(HhcDisjoint, ProducesExactlyDegreePaths) {
+  for (unsigned m = 1; m <= 4; ++m) {
+    const HhcTopology net{m};
+    const Node s = net.encode(0, 0);
+    const Node t = net.encode(net.cluster_count() - 1, net.cluster_size() - 1);
+    const auto set = build_checked(net, s, t);
+    EXPECT_EQ(set.paths.size(), m + 1) << "m=" << m;
+  }
+}
+
+TEST(HhcDisjoint, UsesAllEdgesOfSourceAndDestination) {
+  // Disjointness forces the m+1 paths to leave s over m+1 distinct edges
+  // and enter t over m+1 distinct edges — including both external edges.
+  const HhcTopology net{3};
+  const Node s = net.encode(0b0101, 0b010);
+  const Node t = net.encode(0b1010, 0b110);
+  const auto set = build_checked(net, s, t);
+
+  std::set<Node> first_hops;
+  std::set<Node> last_hops;
+  for (const auto& p : set.paths) {
+    ASSERT_GE(p.size(), 2u);
+    first_hops.insert(p[1]);
+    last_hops.insert(p[p.size() - 2]);
+  }
+  EXPECT_EQ(first_hops.size(), net.degree());
+  EXPECT_EQ(last_hops.size(), net.degree());
+  EXPECT_TRUE(first_hops.count(net.external_neighbor(s)) > 0)
+      << "some path must use the source's external edge";
+  EXPECT_TRUE(last_hops.count(net.external_neighbor(t)) > 0)
+      << "some path must use the destination's external edge";
+}
+
+TEST(HhcDisjoint, SameClusterCase) {
+  const HhcTopology net{3};
+  const Node s = net.encode(7, 0b000);
+  const Node t = net.encode(7, 0b101);
+  const auto set = build_checked(net, s, t);
+  EXPECT_EQ(set.paths.size(), 4u);
+  // Exactly one path (the external detour) leaves the shared cluster.
+  std::size_t leaving = 0;
+  for (const auto& p : set.paths) {
+    const bool leaves = std::any_of(p.begin(), p.end(), [&](Node v) {
+      return net.cluster_of(v) != 7;
+    });
+    leaving += leaves ? 1 : 0;
+  }
+  EXPECT_EQ(leaving, 1u);
+}
+
+TEST(HhcDisjoint, SameClusterDetourLengthBound) {
+  // The detour's length is 3 * H(Ys, Yt) + 4 <= 3m + 4.
+  const HhcTopology net{3};
+  const Node s = net.encode(3, 0b000);
+  const Node t = net.encode(3, 0b111);
+  const auto set = build_checked(net, s, t);
+  EXPECT_LE(set.max_length(), 3u * 3u + 4u);
+}
+
+TEST(HhcDisjoint, AdjacentAcrossExternalEdge) {
+  // s and t adjacent via an external edge: one path has length 1.
+  const HhcTopology net{2};
+  const Node s = net.encode(0b0000, 0b01);  // gateway for X-dim 1
+  const Node t = net.external_neighbor(s);
+  ASSERT_EQ(net.cluster_of(t), 0b0010u);
+  const auto set = build_checked(net, s, t);
+  EXPECT_EQ(set.min_length(), 1u);
+}
+
+TEST(HhcDisjoint, AdjacentWithinCluster) {
+  const HhcTopology net{2};
+  const Node s = net.encode(5, 0b00);
+  const Node t = net.encode(5, 0b01);
+  const auto set = build_checked(net, s, t);
+  EXPECT_EQ(set.min_length(), 1u);
+}
+
+TEST(HhcDisjoint, SingleDifferingDimensionBranches) {
+  const HhcTopology net{2};
+  // k = 1 with a in D, b not in D.
+  {
+    const Node s = net.encode(0b0000, 0b10);  // a = 2
+    const Node t = net.encode(0b0100, 0b01);  // differs in X-dim 2, b = 1
+    (void)build_checked(net, s, t);
+  }
+  // k = 1 with a not in D, b not in D, a != b.
+  {
+    const Node s = net.encode(0b0000, 0b01);  // a = 1
+    const Node t = net.encode(0b1000, 0b10);  // D = {3}, b = 2
+    (void)build_checked(net, s, t);
+  }
+  // k = 1 with a = b, both outside D.
+  {
+    const Node s = net.encode(0b0000, 0b01);  // a = 1
+    const Node t = net.encode(0b0001, 0b01);  // D = {0}, b = 1
+    (void)build_checked(net, s, t);
+  }
+}
+
+TEST(HhcDisjoint, RouteSelectionHasDistinctFirstsAndLasts) {
+  const HhcTopology net{3};
+  const Node s = net.encode(0b00001111, 0b011);
+  const Node t = net.encode(0b11110000, 0b100);
+  const auto routes = select_cluster_routes(net, s, t);
+  ASSERT_EQ(routes.size(), net.degree());
+  std::set<unsigned> firsts;
+  std::set<unsigned> lasts;
+  for (const auto& r : routes) {
+    ASSERT_FALSE(r.empty());
+    firsts.insert(r.front());
+    lasts.insert(r.back());
+  }
+  EXPECT_EQ(firsts.size(), routes.size());
+  EXPECT_EQ(lasts.size(), routes.size());
+  EXPECT_TRUE(firsts.count(net.gateway_dimension(s)) > 0);
+  EXPECT_TRUE(lasts.count(net.gateway_dimension(t)) > 0);
+}
+
+TEST(HhcDisjoint, EveryRouteFlipsExactlyTheDifferingDimensions) {
+  const HhcTopology net{3};
+  const Node s = net.encode(0b00110011, 0b000);
+  const Node t = net.encode(0b01010101, 0b111);
+  const std::uint64_t expected = net.cluster_of(s) ^ net.cluster_of(t);
+  for (const auto& r : select_cluster_routes(net, s, t)) {
+    std::uint64_t acc = 0;
+    for (const unsigned d : r) acc ^= (1ull << d);
+    EXPECT_EQ(acc, expected);
+  }
+}
+
+TEST(HhcDisjoint, MaxLengthWithinTheoreticalBound) {
+  // The construction guarantees max length <= 2^m + k + O(m); we check the
+  // concrete bound 2^m + k + 3m + 4 on a deterministic sample.
+  for (unsigned m = 1; m <= 4; ++m) {
+    const HhcTopology net{m};
+    const auto pairs = sample_pairs(net, 200, /*seed=*/42);
+    for (const auto& [s, t] : pairs) {
+      const auto set = node_disjoint_paths(net, s, t);
+      const auto k = static_cast<std::size_t>(
+          bits::popcount(net.cluster_of(s) ^ net.cluster_of(t)));
+      EXPECT_LE(set.max_length(), net.cluster_dimensions() + k + 3 * m + 4)
+          << "m=" << m << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HhcDisjoint, DeterministicAcrossCalls) {
+  const HhcTopology net{3};
+  const Node s = net.encode(100, 2);
+  const Node t = net.encode(200, 5);
+  const auto first = node_disjoint_paths(net, s, t);
+  const auto second = node_disjoint_paths(net, s, t);
+  ASSERT_EQ(first.paths.size(), second.paths.size());
+  for (std::size_t i = 0; i < first.paths.size(); ++i) {
+    EXPECT_EQ(first.paths[i], second.paths[i]);
+  }
+}
+
+TEST(HhcDisjoint, ConstructionCommutesWithClusterTranslation) {
+  // Metamorphic property: XOR-translating the cluster labels is an
+  // automorphism, and every step of the algorithm depends on Xs, Xt only
+  // through their difference — so translating the inputs must translate
+  // the output container node-for-node.
+  const HhcTopology net{3};
+  const Node s = net.encode(0b00101100, 0b011);
+  const Node t = net.encode(0b11000110, 0b101);
+  const auto base = node_disjoint_paths(net, s, t);
+  for (const std::uint64_t a : {0b1ull, 0b10101010ull, 0b11111111ull}) {
+    const auto translate = [&](Node v) {
+      return net.encode(net.cluster_of(v) ^ a, net.position_of(v));
+    };
+    const auto shifted = node_disjoint_paths(net, translate(s), translate(t));
+    ASSERT_EQ(shifted.paths.size(), base.paths.size());
+    for (std::size_t i = 0; i < base.paths.size(); ++i) {
+      ASSERT_EQ(shifted.paths[i].size(), base.paths[i].size()) << "A=" << a;
+      for (std::size_t j = 0; j < base.paths[i].size(); ++j) {
+        EXPECT_EQ(shifted.paths[i][j], translate(base.paths[i][j]))
+            << "A=" << a << " path " << i << " hop " << j;
+      }
+    }
+  }
+}
+
+TEST(HhcDisjoint, LengthStatisticsAreConsistent) {
+  const HhcTopology net{2};
+  const auto set = node_disjoint_paths(net, net.encode(0, 0), net.encode(9, 3));
+  EXPECT_LE(set.min_length(), set.average_length());
+  EXPECT_LE(set.average_length(), static_cast<double>(set.max_length()));
+}
+
+TEST(HhcDisjoint, VerifierCatchesTampering) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto good = node_disjoint_paths(net, s, t);
+  std::string why;
+  ASSERT_TRUE(verify_disjoint_path_set(net, good, s, t, &why));
+
+  // Wrong cardinality.
+  auto fewer = good;
+  fewer.paths.pop_back();
+  EXPECT_FALSE(verify_disjoint_path_set(net, fewer, s, t, &why));
+  EXPECT_NE(why.find("expected"), std::string::npos);
+
+  // Duplicate a path: shared interior nodes.
+  auto dup = good;
+  dup.paths.back() = dup.paths.front();
+  EXPECT_FALSE(verify_disjoint_path_set(net, dup, s, t, &why));
+  EXPECT_NE(why.find("shared"), std::string::npos);
+
+  // Break an edge in one path.
+  auto broken = good;
+  ASSERT_GE(broken.paths[0].size(), 3u);
+  std::swap(broken.paths[0][1], broken.paths[0][2]);
+  EXPECT_FALSE(verify_disjoint_path_set(net, broken, s, t, &why));
+
+  // Wrong endpoints.
+  EXPECT_FALSE(verify_disjoint_path_set(net, good, t, s, &why));
+}
+
+}  // namespace
+}  // namespace hhc::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+#include "graph/bfs.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(HhcMetrics, BfsDistancesAgreeWithExplicitGraph) {
+  const HhcTopology net{2};
+  const auto implicit = bfs_distances(net, 0);
+  const auto explicit_dist =
+      graph::bfs_distances(net.explicit_graph(), 0);
+  ASSERT_EQ(implicit.size(), explicit_dist.size());
+  for (std::size_t v = 0; v < implicit.size(); ++v) {
+    EXPECT_EQ(implicit[v], explicit_dist[v]) << "node " << v;
+  }
+}
+
+TEST(HhcMetrics, BfsShortestPathIsValidAndMinimal) {
+  const HhcTopology net{2};
+  const auto dist = bfs_distances(net, 3);
+  for (Node t = 0; t < net.node_count(); ++t) {
+    const auto p = bfs_shortest_path(net, 3, t);
+    ASSERT_FALSE(p.empty());
+    EXPECT_TRUE(is_valid_path(net, p, 3, t));
+    EXPECT_EQ(p.size() - 1, dist[t]);
+  }
+}
+
+TEST(HhcMetrics, ExactDiameterMatchesFormulaM1) {
+  const HhcTopology net{1};
+  // HHC(3) on 8 nodes: diameter = 2^1 + 1 + 1 = 4... verified exactly.
+  EXPECT_EQ(exact_diameter(net), graph::diameter(net.explicit_graph()));
+}
+
+TEST(HhcMetrics, ExactDiameterMatchesExplicitAllPairsM2) {
+  const HhcTopology net{2};
+  EXPECT_EQ(exact_diameter(net), graph::diameter(net.explicit_graph()));
+}
+
+TEST(HhcMetrics, DiameterWithinTheoreticalBoundSmallM) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const HhcTopology net{m};
+    const unsigned d = exact_diameter(net);
+    EXPECT_LE(d, net.theoretical_diameter()) << "m=" << m;
+    EXPECT_GE(d, net.cluster_dimensions()) << "m=" << m;
+  }
+}
+
+TEST(HhcMetrics, RejectsLargeMForExactMetrics) {
+  const HhcTopology net{5};
+  EXPECT_THROW((void)bfs_distances(net, 0), std::invalid_argument);
+  EXPECT_THROW((void)exact_diameter(net), std::invalid_argument);
+}
+
+TEST(HhcMetrics, SamplePairsAreDistinctEndpointsAndDeterministic) {
+  const HhcTopology net{3};
+  const auto a = sample_pairs(net, 500, 99);
+  const auto b = sample_pairs(net, 500, 99);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a[i].s, a[i].t);
+    EXPECT_TRUE(net.contains(a[i].s));
+    EXPECT_TRUE(net.contains(a[i].t));
+    EXPECT_EQ(a[i].s, b[i].s);
+    EXPECT_EQ(a[i].t, b[i].t);
+  }
+}
+
+TEST(HhcMetrics, MeasureContainersSequentialMatchesParallel) {
+  const HhcTopology net{3};
+  const auto pairs = sample_pairs(net, 200, 1);
+  const auto serial = measure_containers(net, pairs, nullptr);
+  util::ThreadPool pool{4};
+  const auto parallel = measure_containers(net, pairs, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].longest, parallel[i].longest);
+    EXPECT_EQ(serial[i].shortest, parallel[i].shortest);
+    EXPECT_DOUBLE_EQ(serial[i].average, parallel[i].average);
+  }
+}
+
+TEST(HhcMetrics, ContainerLongestAtLeastDistance) {
+  // Any path system's longest member is at least the s-t distance.
+  const HhcTopology net{2};
+  const auto pairs = sample_pairs(net, 100, 5);
+  const auto measures = measure_containers(net, pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto exact = bfs_shortest_path(net, pairs[i].s, pairs[i].t);
+    EXPECT_GE(measures[i].longest, exact.size() - 1);
+    EXPECT_GE(measures[i].shortest, exact.size() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace hhc::core

@@ -1,0 +1,176 @@
+// Structural tests of the hierarchical hypercube topology: address
+// arithmetic, degree, neighbor symmetry, and edge classification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/topology.hpp"
+
+namespace hhc::core {
+namespace {
+
+TEST(HhcTopology, RejectsBadM) {
+  EXPECT_THROW(HhcTopology{0}, std::invalid_argument);
+  EXPECT_THROW(HhcTopology{6}, std::invalid_argument);
+  EXPECT_NO_THROW(HhcTopology{1});
+  EXPECT_NO_THROW(HhcTopology{5});
+}
+
+TEST(HhcTopology, BasicParameters) {
+  const HhcTopology net{2};
+  EXPECT_EQ(net.m(), 2u);
+  EXPECT_EQ(net.cluster_dimensions(), 4u);
+  EXPECT_EQ(net.address_bits(), 6u);
+  EXPECT_EQ(net.degree(), 3u);
+  EXPECT_EQ(net.node_count(), 64u);
+  EXPECT_EQ(net.cluster_count(), 16u);
+  EXPECT_EQ(net.cluster_size(), 4u);
+  EXPECT_EQ(net.theoretical_diameter(), 8u);  // 2^(m+1), exact for m <= 4
+}
+
+TEST(HhcTopology, NodeCountsPerM) {
+  EXPECT_EQ(HhcTopology{1}.node_count(), 8u);           // 2^3
+  EXPECT_EQ(HhcTopology{2}.node_count(), 64u);          // 2^6
+  EXPECT_EQ(HhcTopology{3}.node_count(), 2048u);        // 2^11
+  EXPECT_EQ(HhcTopology{4}.node_count(), 1048576u);     // 2^20
+  EXPECT_EQ(HhcTopology{5}.node_count(), 1ull << 37);   // 2^37
+}
+
+TEST(HhcTopology, EncodeDecodeRoundTrip) {
+  const HhcTopology net{3};
+  for (std::uint64_t x = 0; x < net.cluster_count(); x += 37) {
+    for (std::uint64_t y = 0; y < net.cluster_size(); ++y) {
+      const Node v = net.encode(x, y);
+      EXPECT_EQ(net.cluster_of(v), x);
+      EXPECT_EQ(net.position_of(v), y);
+    }
+  }
+}
+
+TEST(HhcTopology, EncodeRejectsOutOfRange) {
+  const HhcTopology net{2};
+  EXPECT_THROW((void)net.encode(16, 0), std::invalid_argument);
+  EXPECT_THROW((void)net.encode(0, 4), std::invalid_argument);
+}
+
+TEST(HhcTopology, InternalNeighborsFlipPositionBits) {
+  const HhcTopology net{3};
+  const Node v = net.encode(5, 0b101);
+  for (unsigned i = 0; i < 3; ++i) {
+    const Node u = net.internal_neighbor(v, i);
+    EXPECT_EQ(net.cluster_of(u), 5u);
+    EXPECT_EQ(net.position_of(u), 0b101u ^ (1u << i));
+  }
+}
+
+TEST(HhcTopology, ExternalNeighborFlipsGatewayDimension) {
+  const HhcTopology net{3};
+  const Node v = net.encode(0b10110, 0b011);  // gateway for X-dimension 3
+  const Node u = net.external_neighbor(v);
+  EXPECT_EQ(net.position_of(u), 0b011u);
+  EXPECT_EQ(net.cluster_of(u), 0b10110u ^ (1u << 3));
+}
+
+TEST(HhcTopology, NeighborRelationIsSymmetric) {
+  const HhcTopology net{2};
+  for (Node v = 0; v < net.node_count(); ++v) {
+    for (const Node u : net.neighbors(v)) {
+      const auto back = net.neighbors(u);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "asymmetric edge " << v << " -- " << u;
+    }
+  }
+}
+
+TEST(HhcTopology, DegreeIsExactlyMPlusOne) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const HhcTopology net{m};
+    for (Node v = 0; v < net.node_count(); ++v) {
+      const auto nbrs = net.neighbors(v);
+      const std::set<Node> distinct(nbrs.begin(), nbrs.end());
+      EXPECT_EQ(distinct.size(), m + 1) << "m=" << m << " v=" << v;
+      EXPECT_EQ(distinct.count(v), 0u) << "self-loop at " << v;
+    }
+  }
+}
+
+TEST(HhcTopology, EdgeClassificationMatchesNeighborLists) {
+  const HhcTopology net{2};
+  for (Node v = 0; v < net.node_count(); ++v) {
+    for (Node u = 0; u < net.node_count(); ++u) {
+      const auto nbrs = net.neighbors(v);
+      const bool adjacent =
+          std::find(nbrs.begin(), nbrs.end(), u) != nbrs.end();
+      EXPECT_EQ(net.is_edge(v, u), adjacent) << v << " -- " << u;
+      // Internal and external classification must partition edges.
+      if (adjacent) {
+        EXPECT_NE(net.is_internal_edge(v, u), net.is_external_edge(v, u));
+      }
+    }
+  }
+}
+
+TEST(HhcTopology, ExternalEdgeRequiresMatchingGateway) {
+  const HhcTopology net{3};
+  // Nodes in adjacent clusters but at the wrong position are NOT adjacent.
+  const Node v = net.encode(0, 0b001);        // gateway for dimension 1
+  const Node wrong = net.encode(1, 0b001);    // cluster differs in dim 0
+  EXPECT_FALSE(net.is_edge(v, wrong));
+  const Node right = net.encode(2, 0b001);    // cluster differs in dim 1
+  EXPECT_TRUE(net.is_edge(v, right));
+}
+
+TEST(HhcTopology, ExplicitGraphMatchesImplicitNeighbors) {
+  const HhcTopology net{2};
+  const auto g = net.explicit_graph();
+  ASSERT_EQ(g.vertex_count(), net.node_count());
+  // Every node has degree m+1, so the edge count is N*(m+1)/2.
+  EXPECT_EQ(g.edge_count(), net.node_count() * net.degree() / 2);
+  for (Node v = 0; v < net.node_count(); ++v) {
+    EXPECT_EQ(g.degree(static_cast<graph::Vertex>(v)), net.degree());
+    for (const Node u : net.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(static_cast<graph::Vertex>(v),
+                             static_cast<graph::Vertex>(u)));
+    }
+  }
+}
+
+TEST(HhcTopology, ClusterTranslationIsAutomorphism) {
+  // (X, Y) -> (X ^ A, Y) preserves adjacency for every cluster offset A —
+  // the symmetry exact_diameter() relies on.
+  const HhcTopology net{2};
+  for (const std::uint64_t a : {1ull, 0b0110ull, 0b1111ull}) {
+    const auto translate = [&](Node v) {
+      return net.encode(net.cluster_of(v) ^ a, net.position_of(v));
+    };
+    for (Node v = 0; v < net.node_count(); ++v) {
+      for (const Node u : net.neighbors(v)) {
+        EXPECT_TRUE(net.is_edge(translate(v), translate(u)))
+            << "A=" << a << " edge " << v << "--" << u;
+      }
+    }
+  }
+}
+
+TEST(HhcTopology, PositionTranslationIsNotAutomorphism) {
+  // Shifting Y breaks the gateway assignment: find at least one edge that
+  // does not survive (X, Y) -> (X, Y ^ 1).
+  const HhcTopology net{2};
+  bool broken = false;
+  for (Node v = 0; v < net.node_count() && !broken; ++v) {
+    const Node u = net.external_neighbor(v);
+    const Node tv = net.encode(net.cluster_of(v), net.position_of(v) ^ 1);
+    const Node tu = net.encode(net.cluster_of(u), net.position_of(u) ^ 1);
+    broken = !net.is_edge(tv, tu);
+  }
+  EXPECT_TRUE(broken);
+}
+
+TEST(HhcTopology, ExplicitGraphRejectsLargeM) {
+  const HhcTopology net{5};
+  EXPECT_THROW((void)net.explicit_graph(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::core

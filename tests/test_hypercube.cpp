@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "cube/hypercube.hpp"
+#include "graph/bfs.hpp"
+
+namespace hhc::cube {
+namespace {
+
+TEST(Hypercube, RejectsBadDimension) {
+  EXPECT_THROW(Hypercube{0}, std::invalid_argument);
+  EXPECT_THROW(Hypercube{64}, std::invalid_argument);
+  EXPECT_NO_THROW(Hypercube{63});
+}
+
+TEST(Hypercube, NodeCount) {
+  EXPECT_EQ(Hypercube{1}.node_count(), 2u);
+  EXPECT_EQ(Hypercube{10}.node_count(), 1024u);
+  EXPECT_EQ(Hypercube{40}.node_count(), 1ull << 40);
+}
+
+TEST(Hypercube, NeighborsFlipOneBit) {
+  const Hypercube q{4};
+  const auto nbrs = q.neighbors(0b1010);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(nbrs[i], 0b1010u ^ (1u << i));
+    EXPECT_TRUE(q.is_edge(0b1010, nbrs[i]));
+  }
+}
+
+TEST(Hypercube, EdgeIffHammingOne) {
+  const Hypercube q{3};
+  EXPECT_TRUE(q.is_edge(0b000, 0b001));
+  EXPECT_FALSE(q.is_edge(0b000, 0b011));
+  EXPECT_FALSE(q.is_edge(0b000, 0b000));
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  const Hypercube q{5};
+  EXPECT_EQ(q.distance(0b00000, 0b11111), 5);
+  EXPECT_EQ(q.distance(0b10101, 0b10101), 0);
+}
+
+TEST(Hypercube, ShortestPathIsShortest) {
+  const Hypercube q{6};
+  const CubeNode u = 0b101010;
+  const CubeNode v = 0b010101;
+  const auto p = q.shortest_path(u, v);
+  ASSERT_EQ(p.size(), static_cast<std::size_t>(q.distance(u, v)) + 1);
+  EXPECT_EQ(p.front(), u);
+  EXPECT_EQ(p.back(), v);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_TRUE(q.is_edge(p[i], p[i + 1]));
+  }
+}
+
+TEST(Hypercube, ShortestPathTrivial) {
+  const Hypercube q{3};
+  const auto p = q.shortest_path(5, 5);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 5u);
+}
+
+TEST(Hypercube, ShortestPathOrderedRespectsOrder) {
+  const Hypercube q{4};
+  const auto p = q.shortest_path_ordered(0b0000, 0b0110, {2, 1});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 0b0100u);  // dimension 2 first
+  EXPECT_EQ(p[2], 0b0110u);
+}
+
+TEST(Hypercube, ShortestPathOrderedIgnoresExtraDimensions) {
+  const Hypercube q{4};
+  const auto p = q.shortest_path_ordered(0b0000, 0b0001, {3, 2, 1, 0});
+  ASSERT_EQ(p.size(), 2u);
+}
+
+TEST(Hypercube, ShortestPathOrderedRejectsIncompleteOrder) {
+  const Hypercube q{4};
+  EXPECT_THROW((void)q.shortest_path_ordered(0b0000, 0b0011, {0}),
+               std::invalid_argument);
+}
+
+TEST(Hypercube, ExplicitGraphStructure) {
+  const Hypercube q{4};
+  const auto g = q.explicit_graph();
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 16u * 4 / 2);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_EQ(graph::diameter(g), 4u);  // diameter of Q_n is n
+}
+
+TEST(Hypercube, ExplicitGraphRejectsHugeDimension) {
+  EXPECT_THROW((void)Hypercube{21}.explicit_graph(), std::invalid_argument);
+}
+
+TEST(Hypercube, OutOfRangeNodesRejected) {
+  const Hypercube q{3};
+  EXPECT_THROW((void)q.neighbors(8), std::invalid_argument);
+  EXPECT_THROW((void)q.neighbor(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)q.shortest_path(0, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::cube

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include "util/rng.hpp"
+
+#include "baseline/maxflow_paths.hpp"
+#include "core/metrics.hpp"
+
+namespace hhc::baseline {
+namespace {
+
+using core::HhcTopology;
+using core::Node;
+
+TEST(MaxflowBaseline, ConnectivityIsAlwaysDegree) {
+  // The HHC is (m+1)-connected: the baseline must report exactly m+1 for
+  // every distinct pair. Exhaustive on m=1, sampled on m=2,3.
+  {
+    const HhcTopology net{1};
+    const MaxflowBaseline exact{net};
+    for (Node s = 0; s < net.node_count(); ++s) {
+      for (Node t = s + 1; t < net.node_count(); ++t) {
+        EXPECT_EQ(exact.connectivity(s, t), net.degree());
+      }
+    }
+  }
+  for (unsigned m = 2; m <= 3; ++m) {
+    const HhcTopology net{m};
+    const MaxflowBaseline exact{net};
+    for (const auto& [s, t] : core::sample_pairs(net, 40, m)) {
+      EXPECT_EQ(exact.connectivity(s, t), net.degree());
+    }
+  }
+}
+
+TEST(MaxflowBaseline, PathsVerifyAsDisjointContainer) {
+  const HhcTopology net{2};
+  const MaxflowBaseline exact{net};
+  for (const auto& [s, t] : core::sample_pairs(net, 60, 4)) {
+    const auto set = exact.disjoint_paths(s, t);
+    std::string why;
+    EXPECT_TRUE(core::verify_disjoint_path_set(net, set, s, t, &why))
+        << "s=" << s << " t=" << t << ": " << why;
+  }
+}
+
+TEST(MaxflowBaseline, OptimalContainerNeverLargerThanConstructive) {
+  // Max flow finds a *maximum* system; the constructive algorithm must
+  // produce the same cardinality (both equal m+1 by Menger).
+  const HhcTopology net{3};
+  const MaxflowBaseline exact{net};
+  for (const auto& [s, t] : core::sample_pairs(net, 25, 9)) {
+    EXPECT_EQ(exact.disjoint_paths(s, t).paths.size(),
+              core::node_disjoint_paths(net, s, t).paths.size());
+  }
+}
+
+TEST(MaxflowBaseline, OneToManyFanCoversAllTargets) {
+  const HhcTopology net{2};
+  const MaxflowBaseline exact{net};
+  const Node s = net.encode(3, 1);
+  // m+1 = 3 arbitrary distinct targets: a complete fan must exist by the
+  // fan lemma in an (m+1)-connected graph.
+  const std::vector<Node> targets{net.encode(9, 0), net.encode(12, 3),
+                                  net.encode(0, 2)};
+  const auto fans = exact.one_to_many(s, targets);
+  ASSERT_EQ(fans.size(), targets.size());
+  std::set<Node> interior;
+  for (std::size_t i = 0; i < fans.size(); ++i) {
+    ASSERT_FALSE(fans[i].empty());
+    EXPECT_EQ(fans[i].front(), s);
+    EXPECT_EQ(fans[i].back(), targets[i]);
+    for (std::size_t j = 0; j + 1 < fans[i].size(); ++j) {
+      EXPECT_TRUE(net.is_edge(fans[i][j], fans[i][j + 1]));
+      if (j > 0) {
+        EXPECT_TRUE(interior.insert(fans[i][j]).second)
+            << "interior node shared across fan paths";
+      }
+    }
+    // No fan path may pass through another target.
+    for (std::size_t j = 1; j + 1 < fans[i].size(); ++j) {
+      for (const Node other : targets) EXPECT_NE(fans[i][j], other);
+    }
+  }
+}
+
+TEST(MaxflowBaseline, OneToManyRandomizedM2) {
+  const HhcTopology net{2};
+  const MaxflowBaseline exact{net};
+  util::Xoshiro256 rng{31};
+  for (int trial = 0; trial < 40; ++trial) {
+    const Node s = rng.below(net.node_count());
+    std::set<Node> target_set;
+    while (target_set.size() < net.degree()) {
+      const Node t = rng.below(net.node_count());
+      if (t != s) target_set.insert(t);
+    }
+    const std::vector<Node> targets(target_set.begin(), target_set.end());
+    const auto fans = exact.one_to_many(s, targets);
+    ASSERT_EQ(fans.size(), targets.size());
+    std::set<Node> interior;
+    for (const auto& p : fans) {
+      for (std::size_t j = 1; j + 1 < p.size(); ++j) {
+        EXPECT_TRUE(interior.insert(p[j]).second);
+      }
+    }
+  }
+}
+
+TEST(MaxflowBaseline, OneToManyRejectsBadTargets) {
+  const HhcTopology net{1};
+  const MaxflowBaseline exact{net};
+  const std::vector<Node> oob{net.node_count()};
+  EXPECT_THROW((void)exact.one_to_many(0, oob), std::invalid_argument);
+  const std::vector<Node> self{0};
+  EXPECT_THROW((void)exact.one_to_many(0, self), std::invalid_argument);
+}
+
+TEST(MaxflowBaseline, RejectsOutOfRange) {
+  const HhcTopology net{1};
+  const MaxflowBaseline exact{net};
+  EXPECT_THROW((void)exact.connectivity(0, 99), std::invalid_argument);
+  EXPECT_THROW((void)exact.disjoint_paths(99, 0), std::invalid_argument);
+}
+
+TEST(MaxflowBaseline, ExplicitGraphExposed) {
+  const HhcTopology net{2};
+  const MaxflowBaseline exact{net};
+  EXPECT_EQ(exact.explicit_graph().vertex_count(), net.node_count());
+  EXPECT_EQ(exact.topology().m(), 2u);
+}
+
+}  // namespace
+}  // namespace hhc::baseline

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/options.hpp"
+
+namespace hhc::util {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const auto o = parse({"--m", "3", "--pairs", "100"});
+  EXPECT_EQ(o.get_int("m", 0), 3);
+  EXPECT_EQ(o.get_int("pairs", 0), 100);
+}
+
+TEST(Options, ParsesEqualsForm) {
+  const auto o = parse({"--m=4", "--name=test"});
+  EXPECT_EQ(o.get_int("m", 0), 4);
+  EXPECT_EQ(o.get("name", ""), "test");
+}
+
+TEST(Options, BooleanFlags) {
+  const auto o = parse({"--verbose", "--m", "2"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("quiet", false));
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_FALSE(o.has("quiet"));
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get_int("m", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("rate", 0.5), 0.5);
+  EXPECT_EQ(o.get("name", "dflt"), "dflt");
+}
+
+TEST(Options, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"stray"}), std::invalid_argument);
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  const auto o = parse({"--m", "abc"});
+  EXPECT_THROW((void)o.get_int("m", 0), std::invalid_argument);
+}
+
+TEST(Options, ParsesDoubles) {
+  const auto o = parse({"--rate", "0.125"});
+  EXPECT_DOUBLE_EQ(o.get_double("rate", 0), 0.125);
+}
+
+TEST(Options, RejectUnknownFlagsUndescribedKeys) {
+  auto o = parse({"--typo", "1"});
+  o.describe("m", "cluster dimension");
+  EXPECT_THROW(o.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Options, RejectUnknownAcceptsDescribedKeys) {
+  auto o = parse({"--m", "1"});
+  o.describe("m", "cluster dimension");
+  EXPECT_NO_THROW(o.reject_unknown());
+}
+
+TEST(Options, NegativeValuesViaEquals) {
+  // `--key value` treats a leading -- as the next option, so negative
+  // numbers must use the = form; plain negatives still work as values.
+  const auto o = parse({"--delta", "-3"});
+  EXPECT_EQ(o.get_int("delta", 0), -3);
+}
+
+}  // namespace
+}  // namespace hhc::util

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/path_utils.hpp"
+
+namespace hhc::graph {
+namespace {
+
+AdjacencyList square() {
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  return g;
+}
+
+TEST(PathUtils, ValidSimplePath) {
+  const auto g = square();
+  EXPECT_TRUE(validate_simple_path(g, {0, 1, 2}).ok);
+  EXPECT_TRUE(validate_simple_path(g, {3}).ok);
+}
+
+TEST(PathUtils, RejectsEmptyPath) {
+  const auto g = square();
+  const auto r = validate_simple_path(g, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("empty"), std::string::npos);
+}
+
+TEST(PathUtils, RejectsNonEdge) {
+  const auto g = square();
+  EXPECT_FALSE(validate_simple_path(g, {0, 2}).ok);
+}
+
+TEST(PathUtils, RejectsRepeatedVertex) {
+  const auto g = square();
+  EXPECT_FALSE(validate_simple_path(g, {0, 1, 0}).ok);
+}
+
+TEST(PathUtils, RejectsOutOfRangeVertex) {
+  const auto g = square();
+  EXPECT_FALSE(validate_simple_path(g, {0, 9}).ok);
+}
+
+TEST(PathUtils, ValidatesEndpoints) {
+  const auto g = square();
+  EXPECT_TRUE(validate_path_between(g, {0, 1, 2}, 0, 2).ok);
+  EXPECT_FALSE(validate_path_between(g, {0, 1, 2}, 1, 2).ok);
+  EXPECT_FALSE(validate_path_between(g, {0, 1, 2}, 0, 3).ok);
+}
+
+TEST(PathUtils, InternallyDisjointAcceptsSharedEndpoints) {
+  const auto g = square();
+  const std::vector<VertexPath> paths{{0, 1, 2}, {0, 3, 2}};
+  const std::array<Vertex, 2> shared{0, 2};
+  EXPECT_TRUE(validate_internally_disjoint(g, paths, shared).ok);
+}
+
+TEST(PathUtils, InternallyDisjointDetectsOverlap) {
+  const auto g = square();
+  const std::vector<VertexPath> paths{{0, 1, 2}, {0, 1, 2}};
+  const std::array<Vertex, 2> shared{0, 2};
+  const auto r = validate_internally_disjoint(g, paths, shared);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("shared"), std::string::npos);
+}
+
+TEST(PathUtils, InternallyDisjointReportsBrokenMember) {
+  const auto g = square();
+  const std::vector<VertexPath> paths{{0, 2}};
+  const std::array<Vertex, 1> shared{0};
+  const auto r = validate_internally_disjoint(g, paths, shared);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("path 0"), std::string::npos);
+}
+
+TEST(PathUtils, CheckResultBoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(CheckResult::success()));
+  EXPECT_FALSE(static_cast<bool>(CheckResult::failure("x")));
+}
+
+}  // namespace
+}  // namespace hhc::graph

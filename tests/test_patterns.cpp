@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/patterns.hpp"
+
+namespace hhc::sim {
+namespace {
+
+using core::HhcTopology;
+using core::Node;
+
+constexpr Pattern kAll[] = {Pattern::kComplement, Pattern::kReverse,
+                            Pattern::kRotate, Pattern::kShuffle,
+                            Pattern::kTornado};
+
+TEST(Patterns, EveryPatternIsAPermutation) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const HhcTopology net{m};
+    for (const Pattern p : kAll) {
+      std::set<Node> images;
+      for (Node v = 0; v < net.node_count(); ++v) {
+        const Node dest = apply_pattern(net, p, v);
+        EXPECT_TRUE(net.contains(dest));
+        EXPECT_TRUE(images.insert(dest).second)
+            << pattern_name(p) << " not injective at v=" << v;
+      }
+      EXPECT_EQ(images.size(), net.node_count());
+    }
+  }
+}
+
+TEST(Patterns, ComplementHasNoFixedPoints) {
+  const HhcTopology net{2};
+  for (Node v = 0; v < net.node_count(); ++v) {
+    EXPECT_NE(apply_pattern(net, Pattern::kComplement, v), v);
+  }
+}
+
+TEST(Patterns, ComplementIsInvolution) {
+  const HhcTopology net{3};
+  for (Node v = 0; v < net.node_count(); v += 17) {
+    const Node w = apply_pattern(net, Pattern::kComplement, v);
+    EXPECT_EQ(apply_pattern(net, Pattern::kComplement, w), v);
+  }
+}
+
+TEST(Patterns, ReverseIsInvolution) {
+  const HhcTopology net{3};
+  for (Node v = 0; v < net.node_count(); v += 13) {
+    const Node w = apply_pattern(net, Pattern::kReverse, v);
+    EXPECT_EQ(apply_pattern(net, Pattern::kReverse, w), v);
+  }
+}
+
+TEST(Patterns, ShuffleUndoneByRepetition) {
+  // n rotations by 1 return to the original value.
+  const HhcTopology net{2};
+  const unsigned n = net.address_bits();
+  for (Node v = 0; v < net.node_count(); v += 7) {
+    Node w = v;
+    for (unsigned i = 0; i < n; ++i) w = apply_pattern(net, Pattern::kShuffle, w);
+    EXPECT_EQ(w, v);
+  }
+}
+
+TEST(Patterns, KnownValues) {
+  const HhcTopology net{2};  // n = 6 bits
+  EXPECT_EQ(apply_pattern(net, Pattern::kComplement, 0b000000), 0b111111u);
+  EXPECT_EQ(apply_pattern(net, Pattern::kReverse, 0b000001), 0b100000u);
+  EXPECT_EQ(apply_pattern(net, Pattern::kRotate, 0b000111), 0b111000u);
+  EXPECT_EQ(apply_pattern(net, Pattern::kShuffle, 0b100000), 0b000001u);
+  EXPECT_EQ(apply_pattern(net, Pattern::kTornado, 0), 31u);  // N/2 - 1
+}
+
+TEST(Patterns, TrafficSkipsFixedPoints) {
+  const HhcTopology net{2};
+  for (const Pattern p : kAll) {
+    const auto flows = pattern_traffic(net, p);
+    for (const auto& f : flows) {
+      EXPECT_NE(f.s, f.t);
+      EXPECT_EQ(f.inject_time, 0u);
+      EXPECT_EQ(apply_pattern(net, p, f.s), f.t);
+    }
+    EXPECT_LE(flows.size(), net.node_count());
+    EXPECT_GE(flows.size(), net.node_count() - 16);  // few palindromes
+  }
+}
+
+TEST(Patterns, RejectsBadInput) {
+  const HhcTopology net{2};
+  EXPECT_THROW((void)apply_pattern(net, Pattern::kReverse, net.node_count()),
+               std::invalid_argument);
+  const HhcTopology big{4};
+  EXPECT_THROW((void)pattern_traffic(big, Pattern::kShuffle),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::sim

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/disjoint.hpp"
+#include "sim/resilient.hpp"
+
+namespace hhc::sim {
+namespace {
+
+using core::FaultSet;
+using core::HhcTopology;
+using core::Node;
+
+TEST(Resilient, AllStrategiesSucceedFaultFree) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  using TransferFn = TransferOutcome (*)(const HhcTopology&, Node, Node,
+                                         const FaultSet&);
+  for (const TransferFn outcome : {TransferFn{&serial_retry_transfer},
+                                   TransferFn{&dispersal_transfer},
+                                   TransferFn{&flooding_transfer}}) {
+    const auto r = outcome(net, s, t, FaultSet{});
+    EXPECT_TRUE(r.delivered);
+    EXPECT_GT(r.completion_cycles, 0u);
+  }
+}
+
+TEST(Resilient, SerialRetrySucceedsFirstTryWithoutFaults) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto r = serial_retry_transfer(net, s, t, FaultSet{});
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.wasted_transmissions, 0u);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  EXPECT_EQ(r.completion_cycles, container.paths.front().size() - 1);
+}
+
+TEST(Resilient, SerialRetryPaysTimeoutPerBlockedPath) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);  // block the first path
+  const auto r = serial_retry_transfer(net, s, t, faults);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 2u);
+  const std::uint64_t timeout = 2 * (container.paths[0].size() - 1);
+  EXPECT_EQ(r.completion_cycles,
+            timeout + container.paths[1].size() - 1);
+}
+
+TEST(Resilient, SerialRetryFailsOnlyWhenAllBlocked) {
+  const HhcTopology net{1};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(3, 1);
+  FaultSet faults;
+  for (const Node v : net.neighbors(s)) faults.mark_faulty(v);
+  const auto r = serial_retry_transfer(net, s, t, faults);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, net.degree());
+}
+
+TEST(Resilient, DispersalToleratesOneLoss) {
+  const HhcTopology net{3};
+  const Node s = net.encode(7, 1);
+  const Node t = net.encode(200, 6);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  // Cut one path in its middle: the fragment covers some hops (wasted
+  // work) before being dropped, and the other m fragments reconstruct.
+  const auto& victim = container.paths[2];
+  ASSERT_GE(victim.size(), 4u);
+  faults.mark_faulty(victim[victim.size() / 2]);
+  const auto r = dispersal_transfer(net, s, t, faults);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.wasted_transmissions, 0u);
+}
+
+TEST(Resilient, DispersalFailsWithTwoFragmentLosses) {
+  const HhcTopology net{2};  // m = 2: needs 2 of 3 fragments
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);
+  faults.mark_faulty(container.paths[1][1]);
+  const auto r = dispersal_transfer(net, s, t, faults);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(Resilient, FloodingSurvivesAllButOneCut) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);
+  faults.mark_faulty(container.paths[1][1]);
+  const auto r = flooding_transfer(net, s, t, faults);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.completion_cycles, container.paths[2].size() - 1);
+}
+
+TEST(Resilient, FloodingIsNeverSlowerThanDispersal) {
+  const HhcTopology net{3};
+  util::Xoshiro256 rng{4};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Node s = rng.below(net.node_count());
+    const Node t = rng.below(net.node_count());
+    if (s == t) continue;
+    const auto faults = FaultSet::random(net, net.m(), s, t, rng);
+    const auto flood = flooding_transfer(net, s, t, faults);
+    const auto disp = dispersal_transfer(net, s, t, faults);
+    ASSERT_TRUE(flood.delivered);
+    if (disp.delivered) {
+      EXPECT_LE(flood.completion_cycles, disp.completion_cycles);
+    }
+  }
+}
+
+TEST(Resilient, DispersalFasterThanSerialUnderFaults) {
+  // When the first path is cut, serial retry pays a timeout; dispersal
+  // completes in one shot.
+  const HhcTopology net{3};
+  const Node s = net.encode(3, 0);
+  const Node t = net.encode(99, 5);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);
+  const auto serial = serial_retry_transfer(net, s, t, faults);
+  const auto disp = dispersal_transfer(net, s, t, faults);
+  ASSERT_TRUE(serial.delivered);
+  ASSERT_TRUE(disp.delivered);
+  EXPECT_LT(disp.completion_cycles, serial.completion_cycles);
+}
+
+}  // namespace
+}  // namespace hhc::sim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hhc::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a{1};
+  Xoshiro256 b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_LT(rng.below(1), 1u);
+    EXPECT_LT(rng.below(1ull << 40), 1ull << 40);
+  }
+}
+
+TEST(Rng, BelowPowerOfTwoFastPath) {
+  Xoshiro256 rng{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(64), 64u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values should appear
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Xoshiro256 rng{13};
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Xoshiro256 rng{17};
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng{19};
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kTrials / 10.0, kTrials * 0.01);
+  }
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm{0};
+  const auto first = sm.next();
+  SplitMix64 sm2{0};
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace hhc::util

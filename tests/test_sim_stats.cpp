@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace hhc::sim {
+namespace {
+
+TEST(SimStats, SummaryOfEmptyIsZeros) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(SimStats, SummaryOfSingleton) {
+  const auto s = summarize({42});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.p50, 42u);
+  EXPECT_EQ(s.p95, 42u);
+  EXPECT_EQ(s.max, 42u);
+}
+
+TEST(SimStats, SummaryOfRange) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 1; i <= 100; ++i) values.push_back(i);
+  const auto s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_NEAR(static_cast<double>(s.p50), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.p95), 95.0, 1.0);
+}
+
+TEST(SimStats, SummaryUnsortedInput) {
+  const auto s = summarize({9, 1, 5, 3, 7});
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_EQ(s.p50, 5u);
+}
+
+TEST(SimStats, PercentileBoundsChecked) {
+  const std::vector<std::uint64_t> v{1, 2, 3};
+  EXPECT_THROW((void)percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(SimStats, PercentileEndpoints) {
+  const std::vector<std::uint64_t> v{10, 20, 30, 40};
+  EXPECT_EQ(percentile(v, 0.0), 10u);
+  EXPECT_EQ(percentile(v, 1.0), 40u);
+}
+
+}  // namespace
+}  // namespace hhc::sim

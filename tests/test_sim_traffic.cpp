@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/traffic.hpp"
+
+namespace hhc::sim {
+namespace {
+
+using core::HhcTopology;
+using core::Node;
+
+TEST(Traffic, UniformRandomBasics) {
+  const HhcTopology net{3};
+  const auto flows = uniform_random_traffic(net, 500, 100, 42);
+  ASSERT_EQ(flows.size(), 500u);
+  for (const auto& f : flows) {
+    EXPECT_NE(f.s, f.t);
+    EXPECT_TRUE(net.contains(f.s));
+    EXPECT_TRUE(net.contains(f.t));
+    EXPECT_LE(f.inject_time, 100u);
+  }
+}
+
+TEST(Traffic, UniformRandomDeterministic) {
+  const HhcTopology net{2};
+  const auto a = uniform_random_traffic(net, 100, 50, 7);
+  const auto b = uniform_random_traffic(net, 100, 50, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s, b[i].s);
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].inject_time, b[i].inject_time);
+  }
+}
+
+TEST(Traffic, UniformZeroHorizonInjectsAtZero) {
+  const HhcTopology net{2};
+  for (const auto& f : uniform_random_traffic(net, 50, 0, 3)) {
+    EXPECT_EQ(f.inject_time, 0u);
+  }
+}
+
+TEST(Traffic, PermutationEndpointsAllDistinct) {
+  const HhcTopology net{3};
+  const auto flows = permutation_traffic(net, 100, 9);
+  ASSERT_EQ(flows.size(), 100u);
+  std::set<Node> endpoints;
+  for (const auto& f : flows) {
+    endpoints.insert(f.s);
+    endpoints.insert(f.t);
+    EXPECT_EQ(f.inject_time, 0u);
+  }
+  EXPECT_EQ(endpoints.size(), 200u);  // no endpoint reused anywhere
+}
+
+TEST(Traffic, PermutationRejectsOversubscription) {
+  const HhcTopology net{1};  // 8 nodes
+  EXPECT_THROW((void)permutation_traffic(net, 5, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)permutation_traffic(net, 4, 1));
+}
+
+TEST(Traffic, HotspotAllTargetsAgree) {
+  const HhcTopology net{2};
+  const Node target = net.encode(7, 2);
+  const auto flows = hotspot_traffic(net, 64, target, 5);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.t, target);
+    EXPECT_NE(f.s, target);
+  }
+}
+
+TEST(Traffic, HotspotRejectsBadTarget) {
+  const HhcTopology net{1};
+  EXPECT_THROW((void)hotspot_traffic(net, 4, 999, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::sim

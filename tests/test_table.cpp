@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hhc::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t{{"m", "nodes", "ratio"}};
+  t.row().add(1).add(std::uint64_t{8}).add(0.5, 2);
+  t.row().add(2).add(std::uint64_t{64}).add(1.25, 2);
+  std::ostringstream os;
+  t.print(os, "T1");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("T1"), std::string::npos);
+  EXPECT_NE(out.find("m"), std::string::npos);
+  EXPECT_NE(out.find("nodes"), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  Table t{{"a"}};
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().add("x");
+  t.row().add("y");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t{{"col", "v"}};
+  t.row().add("short").add(1);
+  t.row().add("a-much-longer-cell").add(2);
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is{os.str()};
+  std::string header;
+  std::getline(is, header);
+  std::string rule;
+  std::getline(is, rule);
+  std::string row1;
+  std::getline(is, row1);
+  std::string row2;
+  std::getline(is, row2);
+  // The numeric column must start at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t{{"v"}};
+  t.row().add(3.14159, 1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, EmptyTitleOmitted) {
+  Table t{{"a"}};
+  t.row().add("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().find("\n\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hhc::util

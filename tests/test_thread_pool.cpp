@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hhc::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool{2};
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPartialRange) {
+  ThreadPool pool{2};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 20) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionInParallelForPropagates) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool{4};
+  std::vector<long> values(10000);
+  std::iota(values.begin(), values.end(), 0L);
+  std::atomic<long> total{0};
+  pool.parallel_for(0, values.size(), [&](std::size_t i) {
+    total.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 10000L * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace hhc::util

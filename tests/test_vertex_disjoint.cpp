@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "cube/hypercube.hpp"
+#include "graph/path_utils.hpp"
+#include "graph/vertex_disjoint.hpp"
+
+namespace hhc::graph {
+namespace {
+
+// K4: every pair of distinct vertices has connectivity 3.
+AdjacencyList complete4() {
+  AdjacencyList g{4};
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+TEST(VertexDisjoint, CompleteGraphConnectivity) {
+  const auto g = complete4();
+  EXPECT_EQ(vertex_connectivity_between(g, 0, 3), 3u);
+}
+
+TEST(VertexDisjoint, PathsAreValidAndDisjoint) {
+  const auto g = complete4();
+  const auto paths = max_vertex_disjoint_paths(g, 0, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(validate_path_between(g, p, 0, 3).ok);
+  }
+  const std::array<Vertex, 2> shared{0, 3};
+  EXPECT_TRUE(validate_internally_disjoint(g, paths, shared).ok);
+}
+
+TEST(VertexDisjoint, LimitCapsPathCount) {
+  const auto g = complete4();
+  const auto paths = max_vertex_disjoint_paths(g, 0, 3, 2);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(VertexDisjoint, BridgeGraphHasSinglePath) {
+  // Two triangles joined by a cut vertex: connectivity 1 through vertex 2.
+  AdjacencyList g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  EXPECT_EQ(vertex_connectivity_between(g, 0, 4), 1u);
+  const auto paths = max_vertex_disjoint_paths(g, 0, 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(validate_path_between(g, paths[0], 0, 4).ok);
+}
+
+TEST(VertexDisjoint, AdjacentVerticesCountTheDirectEdge) {
+  const auto g = complete4();
+  const auto paths = max_vertex_disjoint_paths(g, 0, 1);
+  EXPECT_EQ(paths.size(), 3u);
+  bool has_direct = false;
+  for (const auto& p : paths) has_direct |= (p.size() == 2);
+  EXPECT_TRUE(has_direct);
+}
+
+TEST(VertexDisjoint, HypercubeConnectivityEqualsDimension) {
+  for (unsigned n = 2; n <= 5; ++n) {
+    const auto g = cube::Hypercube{n}.explicit_graph();
+    EXPECT_EQ(vertex_connectivity_between(g, 0, (1u << n) - 1), n);
+    EXPECT_EQ(vertex_connectivity_between(g, 0, 1), n);
+  }
+}
+
+TEST(VertexDisjoint, FanReachesEachTargetExactly) {
+  const auto g = cube::Hypercube{3}.explicit_graph();
+  const std::vector<Vertex> targets{0b001, 0b010, 0b111};
+  const auto fans = vertex_disjoint_fan(g, 0b000, targets);
+  ASSERT_EQ(fans.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_TRUE(validate_path_between(g, fans[i], 0b000, targets[i]).ok);
+    // No fan path may pass through another target.
+    for (std::size_t j = 0; j + 1 < fans[i].size(); ++j) {
+      for (const Vertex other : targets) {
+        if (other != targets[i]) {
+          EXPECT_NE(fans[i][j + 1], other);
+        }
+      }
+    }
+  }
+  const std::array<Vertex, 1> shared{0b000};
+  EXPECT_TRUE(validate_internally_disjoint(g, fans, shared).ok);
+}
+
+TEST(VertexDisjoint, FanWithMaximumTargets) {
+  // Q_4 from a corner to 4 arbitrary targets: a full fan must exist.
+  const auto g = cube::Hypercube{4}.explicit_graph();
+  const std::vector<Vertex> targets{1, 2, 4, 8};
+  const auto fans = vertex_disjoint_fan(g, 0, targets);
+  const std::array<Vertex, 1> shared{0};
+  EXPECT_TRUE(validate_internally_disjoint(g, fans, shared).ok);
+}
+
+TEST(VertexDisjoint, FanEmptyTargets) {
+  const auto g = complete4();
+  EXPECT_TRUE(vertex_disjoint_fan(g, 0, {}).empty());
+}
+
+TEST(VertexDisjoint, FanRejectsBadTargets) {
+  const auto g = complete4();
+  const std::vector<Vertex> self{0};
+  EXPECT_THROW((void)vertex_disjoint_fan(g, 0, self), std::invalid_argument);
+  const std::vector<Vertex> dup{1, 1};
+  EXPECT_THROW((void)vertex_disjoint_fan(g, 0, dup), std::invalid_argument);
+}
+
+TEST(VertexDisjoint, FanThrowsWhenNoCompleteFan) {
+  // Star graph: center 0, leaves 1..3; from leaf 1 only one path exists.
+  AdjacencyList g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const std::vector<Vertex> targets{2, 3};
+  EXPECT_THROW((void)vertex_disjoint_fan(g, 1, targets), std::runtime_error);
+}
+
+TEST(VertexDisjoint, ReverseFanStartsAtSources) {
+  const auto g = cube::Hypercube{3}.explicit_graph();
+  const std::vector<Vertex> sources{0b001, 0b100};
+  const auto fans = vertex_disjoint_reverse_fan(g, sources, 0b111);
+  ASSERT_EQ(fans.size(), 2u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_TRUE(validate_path_between(g, fans[i], sources[i], 0b111).ok);
+  }
+  const std::array<Vertex, 1> shared{0b111};
+  EXPECT_TRUE(validate_internally_disjoint(g, fans, shared).ok);
+}
+
+TEST(SetToSet, ClusterToClusterInHhcStyleCube) {
+  // Q_4: sources = one face, sinks = the opposite face; a perfect matching
+  // of 8 totally disjoint paths exists (dimension-0 edges).
+  const auto g = cube::Hypercube{4}.explicit_graph();
+  std::vector<Vertex> sources;
+  std::vector<Vertex> sinks;
+  for (Vertex v = 0; v < 16; ++v) {
+    ((v & 1) == 0 ? sources : sinks).push_back(v);
+  }
+  const auto paths = set_to_set_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(paths.size(), 8u);
+  std::set<Vertex> used;
+  for (const auto& p : paths) {
+    ASSERT_FALSE(p.empty());
+    EXPECT_TRUE((p.front() & 1) == 0);
+    EXPECT_TRUE((p.back() & 1) == 1);
+    EXPECT_TRUE(validate_simple_path(g, p).ok);
+    for (const Vertex v : p) {
+      EXPECT_TRUE(used.insert(v).second) << "vertex " << v << " reused";
+    }
+  }
+}
+
+TEST(SetToSet, BottleneckLimitsPathCount) {
+  // Two triangles joined by one bridge: at most one totally disjoint path
+  // between the triangles regardless of set sizes.
+  AdjacencyList g{6};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  const std::vector<Vertex> sources{0, 1};
+  const std::vector<Vertex> sinks{4, 5};
+  const auto paths = set_to_set_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(SetToSet, SharedVertexYieldsTrivialPath) {
+  const auto g = complete4();
+  const std::vector<Vertex> sources{0, 1};
+  const std::vector<Vertex> sinks{1, 2};
+  const auto paths = set_to_set_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(paths.size(), 2u);
+  bool has_trivial = false;
+  for (const auto& p : paths) has_trivial |= (p.size() == 1 && p[0] == 1);
+  EXPECT_TRUE(has_trivial);
+}
+
+TEST(SetToSet, EmptySetsAndBadInput) {
+  const auto g = complete4();
+  EXPECT_TRUE(set_to_set_disjoint_paths(g, {}, {}).empty());
+  const std::vector<Vertex> dup{1, 1};
+  const std::vector<Vertex> ok{2};
+  EXPECT_THROW((void)set_to_set_disjoint_paths(g, dup, ok),
+               std::invalid_argument);
+  const std::vector<Vertex> oob{9};
+  EXPECT_THROW((void)set_to_set_disjoint_paths(g, ok, oob),
+               std::invalid_argument);
+}
+
+TEST(VertexDisjoint, RejectsDegenerateEndpoints) {
+  const auto g = complete4();
+  EXPECT_THROW((void)max_vertex_disjoint_paths(g, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)max_vertex_disjoint_paths(g, 0, 9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhc::graph
