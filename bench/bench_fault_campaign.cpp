@@ -1,0 +1,47 @@
+// Experiment F10 — fault-injection campaign: delivery guarantees and
+// graceful degradation past the m+1 bound.
+//
+// Runs the deterministic Monte-Carlo campaign (fault::CampaignRunner) for
+// m = 2 and m = 3 in two regimes:
+//   nodes only : the paper's fault model — the container guarantees 100%
+//                delivery for f <= m, and every delivery is "guaranteed"
+//                (a surviving container path, no fallback).
+//   mixed      : half the budget becomes link faults, which the
+//                node-disjoint argument does not cover; the BFS fallback
+//                absorbs them as best-effort deliveries at a path-length
+//                inflation cost.
+// The interesting shape: success rate stays near 100% well past f = m
+// (random faults rarely cut all m+1 paths *and* the survivor subgraph),
+// but the guaranteed fraction falls off — the container alone stops being
+// enough exactly where the theory says it must.
+#include <iostream>
+
+#include "fault/campaign.hpp"
+
+int main() {
+  using namespace hhc;
+
+  for (unsigned m = 2; m <= 3; ++m) {
+    fault::CampaignConfig nodes_only;
+    nodes_only.m = m;
+    nodes_only.trials = 400;
+    nodes_only.max_faults = 2 * (m + 1);
+    nodes_only.seed = 42;
+    nodes_only.threads = 0;  // use the hardware
+    fault::CampaignRunner{nodes_only}.run().print(std::cout);
+    std::cout << '\n';
+
+    fault::CampaignConfig mixed = nodes_only;
+    mixed.link_fault_fraction = 0.5;
+    fault::CampaignRunner{mixed}.run().print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: guaranteed-% is exactly 100 for f <= m in "
+               "the nodes-only sweep\n(the paper's bound) and decays past "
+               "it, while success-% degrades much more\nslowly: the BFS "
+               "fallback converts would-be failures into best-effort\n"
+               "deliveries, paying a modest length inflation. Link faults "
+               "shift deliveries\nfrom guaranteed to best-effort earlier, "
+               "since the container has no defense\nagainst them.\n";
+  return 0;
+}

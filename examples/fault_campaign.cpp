@@ -1,0 +1,84 @@
+// Fault-injection campaign CLI: sweep fault budgets over random trials and
+// report delivery guarantees, fallback rates, and degradation.
+//
+//   ./fault_campaign [--m 3] [--trials 200] [--max-faults 0]
+//                    [--link-frac 0.0] [--ext-frac 0.5] [--seed 1]
+//                    [--threads 1] [--format table|csv|json]
+//
+// `--max-faults 0` sweeps to degree + 2 = m + 3, past the m+1 bound, so
+// the output shows both the guaranteed regime and graceful degradation.
+// CSV and JSON go to stdout for piping into files or plotting scripts.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace hhc;
+
+  util::Options opts{argc, argv};
+  opts.describe("m", "cluster dimension m in [1,4] (default 3)")
+      .describe("trials", "random s-t pairs per fault budget (default 200)")
+      .describe("max-faults", "sweep 0..max; 0 means degree+2 (default 0)")
+      .describe("link-frac", "fraction of each budget as link faults "
+                             "(default 0.0)")
+      .describe("ext-frac", "fraction of link faults on external edges "
+                            "(default 0.5)")
+      .describe("seed", "campaign seed; results are deterministic in it "
+                        "(default 1)")
+      .describe("threads", "worker threads; 0 = hardware (default 1)")
+      .describe("format", "table, csv, or json (default table)");
+  if (opts.help_requested(
+          "Monte-Carlo fault-injection campaign over the adaptive router."))
+    return 0;
+  opts.reject_unknown();
+
+  fault::CampaignConfig config;
+  config.m = static_cast<unsigned>(opts.get_int("m", 3));
+  config.trials = static_cast<std::size_t>(opts.get_int("trials", 200));
+  config.max_faults =
+      static_cast<std::size_t>(opts.get_int("max-faults", 0));
+  config.link_fault_fraction = opts.get_double("link-frac", 0.0);
+  config.external_fraction = opts.get_double("ext-frac", 0.5);
+  config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  config.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
+
+  const std::string format = opts.get("format", "table");
+  if (format != "table" && format != "csv" && format != "json") {
+    throw std::invalid_argument("--format must be table, csv, or json");
+  }
+
+  const auto report = fault::CampaignRunner{config}.run();
+  if (format == "csv") {
+    std::cout << report.to_csv();
+  } else if (format == "json") {
+    std::cout << report.to_json() << '\n';
+  } else {
+    report.print(std::cout);
+    std::size_t first_degraded = 0;
+    bool saw_degraded = false;
+    for (const auto& row : report.rows) {
+      if (row.guaranteed < row.trials) {
+        first_degraded = row.faults;
+        saw_degraded = true;
+        break;
+      }
+    }
+    if (saw_degraded) {
+      std::printf("\nguarantee held through f = %zu; degradation starts at "
+                  "f = %zu (m = %u)\n",
+                  first_degraded - 1, first_degraded, config.m);
+    } else {
+      std::printf("\nevery sweep row delivered 100%% over the container "
+                  "(m = %u)\n",
+                  config.m);
+    }
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

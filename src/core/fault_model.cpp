@@ -1,0 +1,139 @@
+#include "core/fault_model.hpp"
+
+#include <stdexcept>
+
+namespace hhc::core {
+
+namespace {
+
+// SplitMix64-style finalizer: good avalanche for hash mixing.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::size_t FaultModel::LinkKeyHash::operator()(
+    const LinkKey& k) const noexcept {
+  return static_cast<std::size_t>(mix64(k.a * 0x9e3779b97f4a7c15ULL ^ k.b));
+}
+
+FaultModel::FaultModel(const FaultSet& nodes) {
+  for (const Node v : nodes.nodes()) fail_node(v);
+}
+
+void FaultModel::fail_node(Node v, std::uint64_t fail_time,
+                           std::uint64_t repair_time) {
+  if (fail_time >= repair_time) {
+    throw std::invalid_argument("FaultModel::fail_node: empty fault window");
+  }
+  node_faults_[v].push_back({fail_time, repair_time});
+  has_transient_ |= repair_time != kNeverRepaired;
+}
+
+void FaultModel::fail_link(Node u, Node v, std::uint64_t fail_time,
+                           std::uint64_t repair_time) {
+  if (u == v) {
+    throw std::invalid_argument("FaultModel::fail_link: self-loop");
+  }
+  if (fail_time >= repair_time) {
+    throw std::invalid_argument("FaultModel::fail_link: empty fault window");
+  }
+  link_faults_[normalize(u, v)].push_back({fail_time, repair_time});
+  has_transient_ |= repair_time != kNeverRepaired;
+}
+
+bool FaultModel::any_active(const std::vector<FaultWindow>& windows,
+                            std::uint64_t time) {
+  for (const FaultWindow& w : windows) {
+    if (w.active_at(time)) return true;
+  }
+  return false;
+}
+
+bool FaultModel::node_faulty_at(Node v, std::uint64_t time) const {
+  const auto it = node_faults_.find(v);
+  return it != node_faults_.end() && any_active(it->second, time);
+}
+
+bool FaultModel::link_faulty_at(Node u, Node v, std::uint64_t time) const {
+  const auto it = link_faults_.find(normalize(u, v));
+  return it != link_faults_.end() && any_active(it->second, time);
+}
+
+std::size_t FaultModel::node_fault_count(std::uint64_t time) const {
+  std::size_t n = 0;
+  for (const auto& [v, windows] : node_faults_) {
+    if (any_active(windows, time)) ++n;
+  }
+  return n;
+}
+
+std::size_t FaultModel::link_fault_count(std::uint64_t time) const {
+  std::size_t n = 0;
+  for (const auto& [key, windows] : link_faults_) {
+    if (any_active(windows, time)) ++n;
+  }
+  return n;
+}
+
+FaultSet FaultModel::node_view(std::uint64_t time) const {
+  FaultSet view;
+  for (const auto& [v, windows] : node_faults_) {
+    if (any_active(windows, time)) view.mark_faulty(v);
+  }
+  return view;
+}
+
+FaultModel FaultModel::random(const HhcTopology& net, const RandomSpec& spec,
+                              Node s, Node t, util::Xoshiro256& rng) {
+  const std::uint64_t nodes = net.node_count();
+  const std::uint64_t excluded = s == t ? 1 : 2;
+  if (spec.node_faults + excluded > nodes) {
+    throw std::invalid_argument(
+        "FaultModel::random: more node faults than non-endpoint nodes");
+  }
+  // Every node has m internal edges (each shared by two nodes) and one
+  // external edge (also shared): N*m/2 internal and N/2 external links.
+  const std::uint64_t internal_links = nodes * net.m() / 2;
+  const std::uint64_t external_links = nodes / 2;
+  if (spec.internal_link_faults > internal_links) {
+    throw std::invalid_argument(
+        "FaultModel::random: more internal link faults than internal links");
+  }
+  if (spec.external_link_faults > external_links) {
+    throw std::invalid_argument(
+        "FaultModel::random: more external link faults than external links");
+  }
+
+  FaultModel model;
+  std::size_t placed = 0;
+  while (placed < spec.node_faults) {
+    const Node v = rng.below(nodes);
+    if (v == s || v == t || model.node_faulty_at(v, spec.fail_time)) continue;
+    model.fail_node(v, spec.fail_time, spec.repair_time);
+    ++placed;
+  }
+  placed = 0;
+  while (placed < spec.internal_link_faults) {
+    const Node u = rng.below(nodes);
+    const Node v = net.internal_neighbor(
+        u, static_cast<unsigned>(rng.below(net.m())));
+    if (model.link_faulty_at(u, v, spec.fail_time)) continue;
+    model.fail_link(u, v, spec.fail_time, spec.repair_time);
+    ++placed;
+  }
+  placed = 0;
+  while (placed < spec.external_link_faults) {
+    const Node u = rng.below(nodes);
+    const Node v = net.external_neighbor(u);
+    if (model.link_faulty_at(u, v, spec.fail_time)) continue;
+    model.fail_link(u, v, spec.fail_time, spec.repair_time);
+    ++placed;
+  }
+  return model;
+}
+
+}  // namespace hhc::core

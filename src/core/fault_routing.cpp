@@ -7,7 +7,8 @@ namespace hhc::core {
 
 FaultSet FaultSet::random(const HhcTopology& net, std::size_t count, Node s,
                           Node t, util::Xoshiro256& rng) {
-  if (count + 2 > net.node_count()) {
+  const std::uint64_t excluded = s == t ? 1 : 2;
+  if (count + excluded > net.node_count()) {
     throw std::invalid_argument("FaultSet::random: too many faults requested");
   }
   FaultSet set;

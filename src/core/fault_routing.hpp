@@ -17,7 +17,12 @@
 
 namespace hhc::core {
 
-/// A set of faulty (unusable) nodes.
+/// A set of permanently faulty (unusable) nodes.
+///
+/// This is the thin node-only view that the paper's guarantee speaks about;
+/// richer scenarios (link faults, fail/repair windows) live in
+/// `core::FaultModel` (fault_model.hpp), which converts to and from this
+/// type so existing callers keep working unchanged.
 class FaultSet {
  public:
   FaultSet() = default;
@@ -29,7 +34,9 @@ class FaultSet {
     return faulty_;
   }
 
-  /// Uniformly samples `count` distinct faulty nodes, never s or t.
+  /// Uniformly samples `count` distinct faulty nodes, never s or t (which
+  /// may be equal). Throws std::invalid_argument when `count` exceeds the
+  /// non-endpoint population.
   static FaultSet random(const HhcTopology& net, std::size_t count, Node s,
                          Node t, util::Xoshiro256& rng);
 

@@ -1,5 +1,6 @@
 #include "core/io.hpp"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -87,6 +88,160 @@ std::string container_to_dot(const HhcTopology& net, const DisjointPathSet& set,
   }
   os << "}\n";
   return os.str();
+}
+
+std::string csv_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ',';
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      line += cell;
+      continue;
+    }
+    line += '"';
+    for (const char c : cell) {
+      if (c == '"') line += '"';
+      line += c;
+    }
+    line += '"';
+  }
+  return line;
+}
+
+void JsonWriter::comma_for_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already emitted its comma and colon
+  }
+  if (!stack_.empty() && stack_.back() == Scope::kObject) {
+    throw std::logic_error("JsonWriter: value inside object without a key");
+  }
+  if (stack_.empty() && !out_.empty()) {
+    throw std::logic_error("JsonWriter: multiple top-level values");
+  }
+  if (!first_in_scope_.empty() && !first_in_scope_.back()) out_ += ',';
+  if (!first_in_scope_.empty()) first_in_scope_.back() = false;
+}
+
+void JsonWriter::open(Scope scope, char bracket) {
+  comma_for_value();
+  out_ += bracket;
+  stack_.push_back(scope);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::close(Scope scope, char bracket) {
+  if (stack_.empty() || stack_.back() != scope || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched container close");
+  }
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  out_ += bracket;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Scope::kObject, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close(Scope::kObject, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open(Scope::kArray, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(Scope::kArray, ']');
+  return *this;
+}
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string quoted = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\r': quoted += "\\r"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          quoted += buf;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  out_ += json_quote(name);
+  out_ += ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_for_value();
+  out_ += json_quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string{v}); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty() || key_pending_) {
+    throw std::logic_error("JsonWriter: unterminated document");
+  }
+  return out_;
 }
 
 }  // namespace hhc::core

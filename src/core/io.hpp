@@ -1,9 +1,13 @@
 // Human-readable and Graphviz renderings of HHC nodes, paths, and
 // disjoint-path containers — used by the examples, debugging, and anyone
-// who wants to *see* the construction.
+// who wants to *see* the construction — plus minimal machine-readable
+// emitters (CSV rows, a streaming JSON writer) shared by the experiment
+// harnesses so their outputs stay mutually consistent.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/disjoint.hpp"
 #include "core/topology.hpp"
@@ -27,5 +31,44 @@ namespace hhc::core {
 [[nodiscard]] std::string container_to_dot(const HhcTopology& net,
                                            const DisjointPathSet& set, Node s,
                                            Node t);
+
+/// One RFC 4180 CSV line (no trailing newline): cells joined by commas,
+/// quoted and escaped whenever a cell contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_row(const std::vector<std::string>& cells);
+
+/// Streaming JSON emitter — enough for flat campaign reports without
+/// pulling in a JSON library. Keys/values must alternate correctly inside
+/// objects; misuse (e.g. a bare value where a key is due) throws
+/// std::logic_error rather than emitting malformed output.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// The document; throws std::logic_error if containers remain open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void comma_for_value();
+  void open(Scope scope, char bracket);
+  void close(Scope scope, char bracket);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+};
 
 }  // namespace hhc::core

@@ -1,0 +1,100 @@
+#include "fault/adaptive_router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "core/disjoint.hpp"
+
+namespace hhc::fault {
+
+using core::FaultModel;
+using core::Node;
+using core::Path;
+
+const char* to_string(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kGuaranteed: return "guaranteed";
+    case DegradationLevel::kBestEffort: return "best-effort";
+    case DegradationLevel::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+namespace {
+
+// Every hop of `path` traversable at `time`: interior nodes healthy and
+// every edge (including its link) usable. Endpoint health is checked by
+// the caller once, not per path.
+bool path_survives(const Path& path, const FaultModel& faults,
+                   std::uint64_t time) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!faults.edge_usable_at(path[i], path[i + 1], time)) return false;
+  }
+  return true;
+}
+
+// BFS over the implicit topology restricted to usable edges; empty when t
+// is unreachable. Parent map doubles as the visited set.
+Path survivor_bfs(const core::HhcTopology& net, Node s, Node t,
+                  const FaultModel& faults, std::uint64_t time) {
+  std::unordered_map<Node, Node> parent;
+  parent.emplace(s, s);
+  std::deque<Node> frontier{s};
+  while (!frontier.empty()) {
+    const Node u = frontier.front();
+    frontier.pop_front();
+    for (const Node v : net.neighbors(u)) {
+      if (parent.count(v) > 0) continue;
+      if (!faults.edge_usable_at(u, v, time)) continue;
+      parent.emplace(v, u);
+      if (v == t) {
+        Path path{t};
+        for (Node w = t; w != s; w = parent.at(w)) path.push_back(parent.at(w));
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+AdaptiveRouteResult AdaptiveRouter::route(Node s, Node t,
+                                          const FaultModel& faults,
+                                          std::uint64_t time) const {
+  AdaptiveRouteResult result;
+  if (faults.node_faulty_at(s, time) || faults.node_faulty_at(t, time)) {
+    return result;  // a dead endpoint is disconnection, not an error
+  }
+  if (s == t) {
+    result.path = {s};
+    result.level = DegradationLevel::kGuaranteed;
+    return result;
+  }
+
+  const auto container = core::node_disjoint_paths(net_, s, t);
+  for (const Path& path : container.paths) {
+    if (!path_survives(path, faults, time)) {
+      ++result.container_paths_blocked;
+      continue;
+    }
+    if (result.path.empty() || path.size() < result.path.size()) {
+      result.path = path;
+    }
+  }
+  if (!result.path.empty()) {
+    result.level = DegradationLevel::kGuaranteed;
+    return result;
+  }
+
+  result.used_fallback = true;
+  result.path = survivor_bfs(net_, s, t, faults, time);
+  result.level = result.path.empty() ? DegradationLevel::kDisconnected
+                                     : DegradationLevel::kBestEffort;
+  return result;
+}
+
+}  // namespace hhc::fault

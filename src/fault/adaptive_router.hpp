@@ -1,0 +1,58 @@
+// Adaptive fault-tolerant routing with graceful degradation.
+//
+// The m+1 node-disjoint container guarantees delivery under any <= m node
+// faults — but says nothing once |F| > m, or when *links* fail (a link
+// fault can block a container path without consuming a node fault, so even
+// few link faults may block all m+1 paths). The seed's `route_avoiding`
+// simply returns an empty path in those regimes; this router degrades
+// gracefully instead:
+//
+//   1. try the disjoint container (the paper's guarantee)    -> kGuaranteed
+//   2. fall back to BFS on the survivor subgraph             -> kBestEffort
+//   3. only when s and t are genuinely disconnected          -> kDisconnected
+//
+// so a caller always learns *why* there is no path, never just an empty
+// vector. The BFS walks the implicit topology (no explicit graph build) and
+// is intended for campaign-scale instances (m <= 4).
+#pragma once
+
+#include <cstdint>
+
+#include "core/fault_model.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::fault {
+
+enum class DegradationLevel {
+  kGuaranteed,    // delivered over a surviving container path
+  kBestEffort,    // container fully blocked; survivor-subgraph BFS succeeded
+  kDisconnected,  // no fault-free s-t path exists at all
+};
+
+[[nodiscard]] const char* to_string(DegradationLevel level) noexcept;
+
+struct AdaptiveRouteResult {
+  core::Path path;  // empty iff level == kDisconnected
+  DegradationLevel level = DegradationLevel::kDisconnected;
+  std::size_t container_paths_blocked = 0;  // of the m+1 container paths
+  bool used_fallback = false;               // BFS fallback engaged
+
+  [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
+};
+
+class AdaptiveRouter {
+ public:
+  explicit AdaptiveRouter(const core::HhcTopology& net) : net_{net} {}
+
+  /// Routes s -> t around the faults active at `time`. Never throws on
+  /// blocked or faulty-endpoint inputs — a faulty endpoint is reported as
+  /// kDisconnected, which is what it means operationally.
+  [[nodiscard]] AdaptiveRouteResult route(core::Node s, core::Node t,
+                                          const core::FaultModel& faults,
+                                          std::uint64_t time = 0) const;
+
+ private:
+  const core::HhcTopology& net_;
+};
+
+}  // namespace hhc::fault

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "core/routing.hpp"
 #include "util/bitops.hpp"
@@ -9,21 +10,28 @@
 namespace hhc::sim {
 
 void NetworkSimulator::set_faults(const core::FaultSet& faults) {
-  faulty_ = faults.nodes();
+  faults_ = core::FaultModel{faults};
 }
 
-void NetworkSimulator::schedule_fault(core::Node node, std::uint64_t time) {
+void NetworkSimulator::set_fault_model(core::FaultModel model) {
+  faults_ = std::move(model);
+}
+
+void NetworkSimulator::schedule_fault(core::Node node, std::uint64_t time,
+                                      std::uint64_t repair) {
   if (!net_.contains(node)) {
     throw std::invalid_argument("schedule_fault: node out of range");
   }
-  const auto [it, inserted] = scheduled_faults_.emplace(node, time);
-  if (!inserted) it->second = std::min(it->second, time);
+  faults_.fail_node(node, time, repair);
 }
 
-bool NetworkSimulator::is_faulty_at(core::Node v, std::uint64_t cycle) const {
-  if (faulty_.count(v) > 0) return true;
-  const auto it = scheduled_faults_.find(v);
-  return it != scheduled_faults_.end() && cycle >= it->second;
+void NetworkSimulator::schedule_link_fault(core::Node u, core::Node v,
+                                           std::uint64_t time,
+                                           std::uint64_t repair) {
+  if (!net_.is_edge(u, v)) {
+    throw std::invalid_argument("schedule_link_fault: not an HHC edge");
+  }
+  faults_.fail_link(u, v, time, repair);
 }
 
 std::uint64_t NetworkSimulator::inject(core::Path route, std::uint64_t time) {
@@ -60,7 +68,7 @@ SimReport NetworkSimulator::run(std::uint64_t max_cycles) {
 
   // Retire packets that are dead on arrival (faulty source or s == t).
   for (Packet& p : packets_) {
-    if (is_faulty_at(p.route.front(), p.inject_time)) {
+    if (faults_.node_faulty_at(p.route.front(), p.inject_time)) {
       p.lost = true;
       ++lost;
       ++retired;
@@ -79,7 +87,8 @@ SimReport NetworkSimulator::run(std::uint64_t max_cycles) {
       if (p.delivered || p.lost || p.inject_time > cycle) continue;
       const core::Node cur = p.route[p.hop];
       const core::Node next = p.route[p.hop + 1];
-      if (is_faulty_at(next, cycle)) {
+      if (faults_.node_faulty_at(next, cycle) ||
+          faults_.link_faulty_at(cur, next, cycle)) {
         p.lost = true;
         ++lost;
         ++retired;

@@ -5,15 +5,17 @@
 // first, deterministic). Packets follow precomputed source routes, which is
 // how both the paper-style disjoint-path transmission and the single-path
 // baseline are exercised under identical conditions. A packet whose next
-// hop is a faulty node is lost. This replaces the original evaluation
-// testbed with a deterministic, machine-independent equivalent.
+// hop is a faulty node — or whose next link is down — is lost. Faults come
+// from a core::FaultModel, so nodes *and* links can fail at a scheduled
+// cycle and be repaired at a later one; traffic injected after the repair
+// passes. This replaces the original evaluation testbed with a
+// deterministic, machine-independent equivalent.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/fault_model.hpp"
 #include "core/fault_routing.hpp"
 #include "core/topology.hpp"
 #include "sim/stats.hpp"
@@ -45,9 +47,19 @@ class NetworkSimulator {
   /// Marks nodes faulty from cycle 0; packets routed into them are lost.
   void set_faults(const core::FaultSet& faults);
 
-  /// Schedules `node` to fail at the start of `time`: packets attempting
-  /// to enter it from that cycle on are lost, earlier traffic passes.
-  void schedule_fault(core::Node node, std::uint64_t time);
+  /// Replaces the fault state with a full model (node + link + transient).
+  void set_fault_model(core::FaultModel model);
+
+  /// Schedules `node` to fail at the start of `time` and come back at
+  /// `repair` (never, by default): packets attempting to enter it during
+  /// the outage are lost; traffic before and after passes.
+  void schedule_fault(core::Node node, std::uint64_t time,
+                      std::uint64_t repair = core::kNeverRepaired);
+
+  /// Link outage during [time, repair) (repair defaults to never): packets
+  /// crossing {u, v} in that window are lost, both endpoints stay usable.
+  void schedule_link_fault(core::Node u, core::Node v, std::uint64_t time = 0,
+                           std::uint64_t repair = core::kNeverRepaired);
 
   /// Queues a packet with a precomputed route (validated against the
   /// topology); returns its id. Routes of length 0 deliver instantly.
@@ -61,11 +73,10 @@ class NetworkSimulator {
   }
 
  private:
-  [[nodiscard]] bool is_faulty_at(core::Node v, std::uint64_t cycle) const;
-
-  core::HhcTopology net_;
-  std::unordered_set<core::Node> faulty_;
-  std::unordered_map<core::Node, std::uint64_t> scheduled_faults_;
+  // Held by reference like every other consumer of the topology; the
+  // caller keeps the HhcTopology alive for the simulator's lifetime.
+  const core::HhcTopology& net_;
+  core::FaultModel faults_;
   std::vector<Packet> packets_;
 };
 

@@ -49,6 +49,35 @@ TransferOutcome serial_retry_transfer(const core::HhcTopology& net,
   return outcome;
 }
 
+TransferOutcome backoff_retry_transfer(const core::HhcTopology& net,
+                                       core::Node s, core::Node t,
+                                       const core::FaultModel& faults,
+                                       std::size_t max_attempts) {
+  const auto container = core::node_disjoint_paths(net, s, t);
+  TransferOutcome outcome;
+  std::uint64_t clock = 0;
+  for (std::size_t k = 0; k < max_attempts; ++k) {
+    const core::Path& path = container.paths[k % container.paths.size()];
+    ++outcome.attempts;
+    NetworkSimulator simulator{net};
+    simulator.set_fault_model(faults);
+    simulator.inject(path, clock);
+    const auto report = simulator.run();
+    if (report.delivered == 1) {
+      outcome.delivered = true;
+      outcome.completion_cycles = simulator.packets()[0].completion_time;
+      return outcome;
+    }
+    outcome.wasted_transmissions += simulator.packets()[0].hop;
+    // Loss is detected by a round-trip of silence; the wait doubles every
+    // attempt so repeated losses back off instead of hammering an outage.
+    const std::uint64_t round_trip = 2 * (path.size() - 1);
+    clock += round_trip << std::min<std::size_t>(k, 32);
+  }
+  outcome.completion_cycles = clock;
+  return outcome;
+}
+
 TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,
                                    core::Node t,
                                    const core::FaultSet& faults) {

@@ -12,10 +12,17 @@
 //   dispersal    : all m+1 fragments at once; completes when any m arrive.
 //   flooding     : the full message duplicated over every path; completes
 //                  when the first copy arrives. Fastest, m+1x bandwidth.
+//   backoff      : serial retry with exponentially growing timeouts,
+//                  cycling through the container paths. Built for
+//                  *transient* faults (core::FaultModel windows): where
+//                  serial-retry gives up after m+1 permanently blocked
+//                  attempts, backoff keeps waiting — a later pass over an
+//                  already-tried path succeeds once the outage is repaired.
 #pragma once
 
 #include <cstdint>
 
+#include "core/fault_model.hpp"
 #include "core/fault_routing.hpp"
 #include "core/topology.hpp"
 
@@ -43,5 +50,13 @@ struct TransferOutcome {
 [[nodiscard]] TransferOutcome flooding_transfer(const core::HhcTopology& net,
                                                 core::Node s, core::Node t,
                                                 const core::FaultSet& faults);
+
+/// Retry with exponential backoff over the container, round-robin: attempt
+/// k uses path k mod (m+1) and, when lost, waits 2 * (path length) << k
+/// cycles before the next attempt (the sender detects loss by silence; the
+/// growing wait rides out transient outages). Stops after `max_attempts`.
+[[nodiscard]] TransferOutcome backoff_retry_transfer(
+    const core::HhcTopology& net, core::Node s, core::Node t,
+    const core::FaultModel& faults, std::size_t max_attempts = 8);
 
 }  // namespace hhc::sim

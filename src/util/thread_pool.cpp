@@ -36,8 +36,10 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock{mutex_};
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    auto err = std::exchange(first_error_, nullptr);
+  // Clear the captured error *before* rethrowing so the pool is immediately
+  // reusable for the next batch — campaign sweeps run many batches through
+  // one pool, and a stale exception must never leak into a later batch.
+  if (auto err = std::exchange(first_error_, nullptr)) {
     lock.unlock();
     std::rethrow_exception(err);
   }

@@ -100,6 +100,36 @@ TEST(FaultRouting, RandomFaultSetRejectsOverfill) {
                std::invalid_argument);
 }
 
+TEST(FaultRouting, RandomFaultSetCanExhaustNonEndpointPopulation) {
+  // count == every node except the two endpoints: the sampler must collect
+  // the full population and terminate.
+  const HhcTopology net{1};  // 8 nodes
+  util::Xoshiro256 rng{5};
+  const Node s = 0;
+  const Node t = 5;
+  const auto faults = FaultSet::random(net, net.node_count() - 2, s, t, rng);
+  EXPECT_EQ(faults.size(), net.node_count() - 2);
+  for (Node v = 0; v < net.node_count(); ++v) {
+    EXPECT_EQ(faults.is_faulty(v), v != s && v != t);
+  }
+}
+
+TEST(FaultRouting, RandomFaultSetSupportsEqualEndpoints) {
+  // s == t excludes only one node, so count may reach N - 1.
+  const HhcTopology net{1};
+  util::Xoshiro256 rng{6};
+  const auto faults = FaultSet::random(net, net.node_count() - 1, 3, 3, rng);
+  EXPECT_EQ(faults.size(), net.node_count() - 1);
+  EXPECT_FALSE(faults.is_faulty(3));
+}
+
+TEST(FaultRouting, RandomFaultSetOverRequestThrowsForEqualEndpoints) {
+  const HhcTopology net{1};
+  util::Xoshiro256 rng{7};
+  EXPECT_THROW((void)FaultSet::random(net, net.node_count(), 3, 3, rng),
+               std::invalid_argument);
+}
+
 TEST(FaultRouting, CanFailBeyondGuarantee) {
   // With enough faults it must be possible to cut every path; the router
   // then reports failure rather than returning something invalid.

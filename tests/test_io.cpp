@@ -80,5 +80,73 @@ TEST(Io, ContainerDotWorksAtLargeScale) {
   EXPECT_NE(dot.find("graph container"), std::string::npos);
 }
 
+TEST(Io, CsvRowJoinsPlainCells) {
+  EXPECT_EQ(csv_row({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(csv_row({}), "");
+  EXPECT_EQ(csv_row({"solo"}), "solo");
+}
+
+TEST(Io, CsvRowQuotesSpecialCells) {
+  EXPECT_EQ(csv_row({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(csv_row({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_row({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(Io, JsonWriterEmitsNestedDocument) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name")
+      .value("hhc")
+      .key("m")
+      .value(3)
+      .key("ok")
+      .value(true)
+      .key("rate")
+      .value(0.5)
+      .key("rows")
+      .begin_array()
+      .value(std::uint64_t{1})
+      .value(std::uint64_t{2})
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"hhc\",\"m\":3,\"ok\":true,\"rate\":0.5,"
+            "\"rows\":[1,2]}");
+}
+
+TEST(Io, JsonWriterEscapesStrings) {
+  JsonWriter w;
+  w.begin_array().value("quote\" slash\\ tab\t").end_array();
+  EXPECT_EQ(w.str(), "[\"quote\\\" slash\\\\ tab\\t\"]");
+}
+
+TEST(Io, JsonWriterRejectsMisuse) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // unterminated document
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+}
+
 }  // namespace
 }  // namespace hhc::core

@@ -120,6 +120,70 @@ TEST(Resilient, FloodingIsNeverSlowerThanDispersal) {
   }
 }
 
+TEST(Resilient, BackoffSucceedsFirstTryWithoutFaults) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto r = backoff_retry_transfer(net, s, t, core::FaultModel{});
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.wasted_transmissions, 0u);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  EXPECT_EQ(r.completion_cycles, container.paths.front().size() - 1);
+}
+
+TEST(Resilient, BackoffRidesOutTransientOutageSerialCannot) {
+  // Every container path is blocked during [0, 16): serial retry burns its
+  // m+1 attempts inside the outage and gives up; backoff's growing waits
+  // carry it past the repair and a retried path goes through.
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  core::FaultModel faults;
+  for (const auto& path : container.paths) {
+    // Mid-path victims: a lost packet covers some hops first, so the
+    // retries also show up as wasted transmissions.
+    faults.fail_node(path[path.size() / 2], /*fail_time=*/0,
+                     /*repair_time=*/16);
+  }
+  const auto serial = serial_retry_transfer(net, s, t, faults.node_view(0));
+  EXPECT_FALSE(serial.delivered);
+  const auto backoff = backoff_retry_transfer(net, s, t, faults);
+  ASSERT_TRUE(backoff.delivered);
+  EXPECT_GT(backoff.attempts, 1u);
+  EXPECT_GT(backoff.wasted_transmissions, 0u);
+  // Success can only happen once the outage is over.
+  EXPECT_GE(backoff.completion_cycles, 16u);
+}
+
+TEST(Resilient, BackoffGivesUpAfterMaxAttemptsWhenPermanentlyCut) {
+  const HhcTopology net{1};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(3, 1);
+  core::FaultModel faults;
+  for (const Node v : net.neighbors(s)) faults.fail_node(v);
+  const auto r = backoff_retry_transfer(net, s, t, faults, /*max_attempts=*/4);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, 4u);
+}
+
+TEST(Resilient, BackoffSurvivesTransientLinkFault) {
+  // A link-only outage: the node-disjoint container has no defense, but a
+  // retry after the repair window uses the same path successfully.
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  core::FaultModel faults;
+  for (const auto& path : container.paths) {
+    faults.fail_link(path[0], path[1], /*fail_time=*/0, /*repair_time=*/12);
+  }
+  const auto r = backoff_retry_transfer(net, s, t, faults);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_GT(r.attempts, 1u);
+}
+
 TEST(Resilient, DispersalFasterThanSerialUnderFaults) {
   // When the first path is cut, serial retry pays a timeout; dispersal
   // completes in one shot.

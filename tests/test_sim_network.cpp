@@ -146,6 +146,88 @@ TEST(SimNetwork, TwoPacketsStraddlingAFailure) {
   EXPECT_EQ(report.lost, 1u);
 }
 
+TEST(SimNetwork, LinkFaultLosesPacketButNodesStayUp) {
+  const HhcTopology net{2};
+  const auto path = core::route(net, net.encode(0, 0), net.encode(15, 3));
+  ASSERT_GE(path.size(), 3u);
+  NetworkSimulator sim{net};
+  sim.schedule_link_fault(path[1], path[2]);
+  sim.inject(path, 0);
+  const auto report = sim.run();
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.lost, 1u);
+  // The packet made it across the first (healthy) link before dying.
+  EXPECT_EQ(sim.packets()[0].hop, 1u);
+}
+
+TEST(SimNetwork, LinkFaultOnlyAffectsRoutesUsingIt) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(15, 3);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  ASSERT_GE(container.paths.size(), 2u);
+  NetworkSimulator sim{net};
+  // Kill one link of path 0; path 1 is node-disjoint so it cannot use it.
+  sim.schedule_link_fault(container.paths[0][0], container.paths[0][1]);
+  sim.inject(container.paths[0], 0);
+  sim.inject(container.paths[1], 0);
+  const auto report = sim.run();
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.lost, 1u);
+}
+
+TEST(SimNetwork, ScheduleLinkFaultRejectsNonEdges) {
+  const HhcTopology net{2};
+  NetworkSimulator sim{net};
+  EXPECT_THROW(sim.schedule_link_fault(net.encode(0, 0), net.encode(5, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_link_fault(3, 3), std::invalid_argument);
+}
+
+TEST(SimNetwork, RepairedNodeDeliversLaterTraffic) {
+  // The acceptance scenario: a packet sent during the outage is lost, a
+  // packet sent after the scheduled repair goes through on the same route.
+  const HhcTopology net{2};
+  const auto path = core::route(net, net.encode(0, 0), net.encode(15, 3));
+  NetworkSimulator sim{net};
+  sim.schedule_fault(path[1], /*time=*/0, /*repair=*/50);
+  sim.inject(path, 0);    // lost entering the dead node
+  sim.inject(path, 100);  // injected well after repair
+  const auto report = sim.run();
+  EXPECT_EQ(report.lost, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_FALSE(sim.packets()[0].delivered);
+  EXPECT_TRUE(sim.packets()[1].delivered);
+}
+
+TEST(SimNetwork, RepairedLinkDeliversLaterTraffic) {
+  const HhcTopology net{2};
+  const auto path = core::route(net, net.encode(0, 0), net.encode(15, 3));
+  ASSERT_GE(path.size(), 3u);
+  NetworkSimulator sim{net};
+  sim.schedule_link_fault(path[1], path[2], /*time=*/0, /*repair=*/40);
+  sim.inject(path, 0);   // hits the dead link at cycle 1
+  sim.inject(path, 60);  // link already repaired
+  const auto report = sim.run();
+  EXPECT_EQ(report.lost, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+}
+
+TEST(SimNetwork, FaultModelDrivesTransientOutage) {
+  // Same scenario expressed through set_fault_model directly.
+  const HhcTopology net{2};
+  const auto path = core::route(net, net.encode(0, 0), net.encode(15, 3));
+  core::FaultModel faults;
+  faults.fail_node(path[1], /*fail_time=*/0, /*repair_time=*/30);
+  NetworkSimulator sim{net};
+  sim.set_fault_model(faults);
+  sim.inject(path, 0);
+  sim.inject(path, 30);  // the half-open window has just closed
+  const auto report = sim.run();
+  EXPECT_EQ(report.lost, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+}
+
 TEST(SimNetwork, InjectionTimeDelaysStart) {
   const HhcTopology net{2};
   const auto path = core::route(net, net.encode(0, 0), net.encode(15, 3));

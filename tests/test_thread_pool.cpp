@@ -67,6 +67,52 @@ TEST(ThreadPool, ExceptionInParallelForPropagates) {
                std::logic_error);
 }
 
+TEST(ThreadPool, WaitIdleClearsErrorAfterRethrow) {
+  // Reuse across campaign batches: once wait_idle has rethrown a batch's
+  // error, the pool must be clean — an immediate second wait_idle returns
+  // normally instead of resurrecting the stale exception.
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("stale"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, ConsecutiveFailingBatchesRethrowTheirOwnError) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("batch-1"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "batch 1 error not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "batch-1");
+  }
+  pool.submit([] { throw std::runtime_error("batch-2"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "batch 2 error not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "batch-2");  // not the cleared batch-1 error
+  }
+}
+
+TEST(ThreadPool, ParallelForUsableAfterExceptionBatch) {
+  // The campaign runner drives many parallel_for batches through one pool;
+  // a failed batch must not poison the following ones.
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(0, 50,
+                                 [](std::size_t i) {
+                                   if (i % 2 == 0) {
+                                     throw std::runtime_error("bad batch");
+                                   }
+                                 }),
+               std::runtime_error);
+  std::vector<std::atomic<int>> hits(200);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, UsableAfterException) {
   ThreadPool pool{2};
   pool.submit([] { throw std::runtime_error("first"); });
