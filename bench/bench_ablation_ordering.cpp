@@ -27,9 +27,13 @@ int main() {
     std::size_t asc_max = 0;
     for (const auto& [s, t] : pairs) {
       const auto gray = core::node_disjoint_paths(
-          net, s, t, core::DimensionOrdering::kGrayCycle);
+          net, s, t,
+          core::ConstructionOptions{.ordering =
+                                        core::DimensionOrdering::kGrayCycle});
       const auto asc = core::node_disjoint_paths(
-          net, s, t, core::DimensionOrdering::kAscending);
+          net, s, t,
+          core::ConstructionOptions{.ordering =
+                                        core::DimensionOrdering::kAscending});
       gray_sum += static_cast<double>(gray.max_length());
       asc_sum += static_cast<double>(asc.max_length());
       gray_max = std::max(gray_max, gray.max_length());

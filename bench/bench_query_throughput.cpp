@@ -1,0 +1,127 @@
+// Experiment F11 — aggregate throughput of the concurrent path-query engine.
+//
+// A Zipf-skewed stream of pair queries (the standard model for repeated
+// routing lookups) is answered by one shared PathService while the number of
+// worker threads hammering it doubles. The sharded translation-canonical
+// cache is the point: the hot head of the distribution collapses onto a few
+// canonical entries, so concurrent readers should scale until lock
+// contention on the shards, not construction cost, is the ceiling. The
+// acceptance target is >= 4x aggregate queries/s at 8 threads over 1 on the
+// hot (skew 0.99) workload — measurable only on a machine with >= 8 cores.
+#include <atomic>
+#include <cstddef>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "query/path_service.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hhc;
+
+constexpr std::size_t kPairPool = 4096;
+// Fixed TOTAL work split across the callers: every row answers the same
+// number of queries and pays the same cold-cache miss cost, so the speedup
+// column isolates parallelism instead of miss-cost amortization.
+constexpr std::size_t kQueriesTotal = 160000;
+
+struct RunResult {
+  double seconds = 0.0;
+  query::ServiceStats stats;
+};
+
+// `threads` independent callers, together issuing kQueriesTotal Zipfian
+// draws from the shared pair pool against the one shared service.
+RunResult hammer(query::PathService& service,
+                 const std::vector<core::PairSample>& pairs, double skew,
+                 std::size_t threads) {
+  service.reset_stats();
+  service.cache().clear();
+  const util::ZipfianSampler zipf{pairs.size(), skew};
+  const std::size_t per_thread = kQueriesTotal / threads;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t id = 0; id < threads; ++id) {
+    workers.emplace_back([&, id] {
+      util::Xoshiro256 rng{0xF11 + id};
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const std::size_t k = zipf(rng);
+        (void)service.answer(
+            query::PairQuery{.s = pairs[k].s, .t = pairs[k].t});
+      }
+    });
+  }
+  util::Stopwatch sw;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  RunResult result;
+  result.seconds = sw.seconds();
+  result.stats = service.stats();
+  return result;
+}
+
+void sweep(const core::HhcTopology& net,
+           const std::vector<core::PairSample>& pairs, double skew,
+           const char* label) {
+  // Capacity (16 shards x 64 = 1024 entries) is deliberately smaller than
+  // the 4096-pair pool: a Zipf-hot head stays resident while uniform
+  // traffic thrashes, so the hit-rate column actually separates the
+  // workloads instead of converging to ~100% once everything is cached.
+  query::PathService service{net,
+                             {.cache_shards = 16, .max_entries_per_shard = 64}};
+  // Discarded warm-up: lets the shard hash tables reach their steady-state
+  // bucket counts so the first measured row sees the same eviction dynamics
+  // as the rest (clear() keeps buckets, only drops entries).
+  (void)hammer(service, pairs, skew, 1);
+  util::Table table{{"threads", "seconds", "queries/s", "speedup", "hit %",
+                     "p50 us", "p99 us"}};
+  double base_qps = 0.0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t threads = 1; threads <= std::max(8u, hw); threads *= 2) {
+    const auto run = hammer(service, pairs, skew, threads);
+    const double qps = static_cast<double>(run.stats.queries) / run.seconds;
+    if (threads == 1) base_qps = qps;
+    table.row()
+        .add(static_cast<int>(threads))
+        .add(run.seconds, 3)
+        .add(qps, 0)
+        .add(qps / base_qps, 2)
+        .add(100.0 * run.stats.hit_rate(), 1)
+        .add(run.stats.latency.percentile(0.50), 1)
+        .add(run.stats.latency.percentile(0.99), 1);
+  }
+  table.print(std::cout, label);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const core::HhcTopology net{4};
+  const auto pairs = core::sample_pairs(net, kPairPool, /*seed=*/0xF11);
+  std::cout << "F11: PathService aggregate throughput, m=4, " << kPairPool
+            << "-pair pool, " << kQueriesTotal
+            << " total queries split across callers, "
+            << std::thread::hardware_concurrency() << " hardware threads\n\n";
+
+  sweep(net, pairs, 0.99, "hot workload (Zipf skew 0.99)");
+  sweep(net, pairs, 0.0, "cold workload (uniform, skew 0)");
+
+  std::cout
+      << "Expected shape: the Zipf head stays resident in the capacity-bound\n"
+         "cache, so the hot workload runs at a far higher hit rate and\n"
+         "throughput than the uniform one (which thrashes the 1024-entry\n"
+         "capacity and keeps paying construction, outside any lock).\n"
+         "Aggregate queries/s scales with threads (target: >= 4x at 8\n"
+         "threads on an >= 8-core machine; a single-core box reports\n"
+         "speedup ~1x by construction). Answers are bit-identical to serial\n"
+         "node_disjoint_paths at every thread count.\n";
+  return 0;
+}

@@ -1,10 +1,28 @@
 #include "core/container_cache.hpp"
 
+#include <bit>
 #include <stdexcept>
+#include <utility>
 
 namespace hhc::core {
 
+ContainerCache::ContainerCache(const HhcTopology& net)
+    : ContainerCache(net, Config{}) {}
+
+ContainerCache::ContainerCache(const HhcTopology& net, Config config)
+    : net_{net}, config_{config} {
+  const std::size_t requested = config_.shards == 0 ? 1 : config_.shards;
+  shards_.resize(std::bit_ceil(requested));
+  for (auto& shard : shards_) shard = std::make_unique<Shard>();
+}
+
 DisjointPathSet ContainerCache::paths(Node s, Node t) {
+  return paths(s, t, config_.options);
+}
+
+DisjointPathSet ContainerCache::paths(Node s, Node t,
+                                      const ConstructionOptions& options,
+                                      bool* cache_hit) {
   if (!net_.contains(s) || !net_.contains(t)) {
     throw std::invalid_argument("ContainerCache: node out of range");
   }
@@ -12,31 +30,122 @@ DisjointPathSet ContainerCache::paths(Node s, Node t) {
 
   const std::uint64_t xs = net_.cluster_of(s);
   const Key key{xs ^ net_.cluster_of(t), net_.position_of(s),
-                net_.position_of(t)};
+                net_.position_of(t), static_cast<std::uint8_t>(options.ordering),
+                static_cast<std::uint8_t>(options.selection)};
+  Shard& shard = *shards_[KeyHash{}(key) & (shards_.size() - 1)];
 
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    ++misses_;
-    // Canonical instance: source cluster 0, destination cluster = xdiff.
-    const Node cs = net_.encode(0, key.ys);
-    const Node ct = net_.encode(key.xdiff, key.yt);
-    it = cache_.emplace(key, node_disjoint_paths(net_, cs, ct)).first;
-  } else {
-    ++hits_;
-  }
-
-  // Translate the canonical container by the source's cluster label.
-  DisjointPathSet result;
-  result.paths.reserve(it->second.paths.size());
-  for (const Path& canonical : it->second.paths) {
-    Path path;
-    path.reserve(canonical.size());
-    for (const Node v : canonical) {
-      path.push_back(net_.encode(net_.cluster_of(v) ^ xs, net_.position_of(v)));
+  // Relabels the canonical container by the source's cluster label; called
+  // with the shard lock held (entry references die with the critical
+  // section, so eviction by a concurrent insert can never dangle them).
+  const auto translate = [&](const DisjointPathSet& canonical) {
+    DisjointPathSet result;
+    result.paths.reserve(canonical.paths.size());
+    for (const Path& path : canonical.paths) {
+      Path copy;
+      copy.reserve(path.size());
+      for (const Node v : path) {
+        copy.push_back(
+            net_.encode(net_.cluster_of(v) ^ xs, net_.position_of(v)));
+      }
+      result.paths.push_back(std::move(copy));
     }
-    result.paths.push_back(std::move(path));
+    return result;
+  };
+
+  {
+    std::lock_guard lock{shard.mutex};
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return translate(it->second);
+    }
   }
-  return result;
+
+  // Miss: run the (expensive, deterministic) construction without holding
+  // any lock, then publish. A racing thread may have inserted meanwhile;
+  // its result is byte-for-byte the same, so first insert wins and the
+  // duplicate work is discarded.
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
+  const Node cs = net_.encode(0, key.ys);
+  const Node ct = net_.encode(key.xdiff, key.yt);
+  auto canonical = node_disjoint_paths(net_, cs, ct, options);
+
+  std::lock_guard lock{shard.mutex};
+  if (config_.max_entries_per_shard > 0 &&
+      shard.map.size() >= config_.max_entries_per_shard &&
+      shard.map.find(key) == shard.map.end()) {
+    shard.map.erase(shard.map.begin());  // random replacement (see Config)
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto [it, inserted] = shard.map.try_emplace(key, std::move(canonical));
+  (void)inserted;
+  return translate(it->second);
+}
+
+std::size_t ContainerCache::hits() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t ContainerCache::misses() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t ContainerCache::evictions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t ContainerCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mutex};
+    total += shard->map.size();
+  }
+  return total;
+}
+
+CacheStats ContainerCache::stats() const {
+  CacheStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    CacheShardStats row;
+    {
+      std::lock_guard lock{shard->mutex};
+      row.entries = shard->map.size();
+    }
+    row.hits = shard->hits.load(std::memory_order_relaxed);
+    row.misses = shard->misses.load(std::memory_order_relaxed);
+    row.evictions = shard->evictions.load(std::memory_order_relaxed);
+    stats.entries += row.entries;
+    stats.hits += row.hits;
+    stats.misses += row.misses;
+    stats.evictions += row.evictions;
+    stats.shards.push_back(row);
+  }
+  return stats;
+}
+
+void ContainerCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mutex};
+    shard->map.clear();
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace hhc::core

@@ -1,55 +1,153 @@
-// Translation-canonical memoization of disjoint-path containers.
+// Sharded, thread-safe, translation-canonical memoization of disjoint-path
+// containers.
 //
 // The construction commutes with cluster translation (tested metamorphically
 // in test_hhc_disjoint.cpp): the container for (Xs, Ys) -> (Xt, Yt) is the
 // container for (0, Ys) -> (Xs ^ Xt, Yt) with every cluster label XOR-ed by
-// Xs. A cache keyed on the canonical triple (Xs ^ Xt, Ys, Yt) therefore
-// serves ALL translated copies of a pair — turning repeated-workload
-// simulations (hotspot traffic, permutation re-runs, retransmissions) into
-// cache hits followed by an O(container size) relabel.
+// Xs. A cache keyed on the canonical triple (Xs ^ Xt, Ys, Yt) — plus the
+// ConstructionOptions, since different option sets build different
+// containers — therefore serves ALL translated copies of a pair, turning
+// repeated-workload simulations (hotspot traffic, permutation re-runs,
+// retransmissions) into cache hits followed by an O(container size) relabel.
+//
+// Concurrency: the key space is split into `shards` independent
+// unordered_maps, each behind its own mutex, with the canonical key hash
+// selecting the shard. Counters are lock-free atomics so the hot hit path
+// pays one short critical section (find + relabel) and no shared-counter
+// contention. Misses run the construction OUTSIDE any lock; two threads
+// missing the same key may both construct, but the construction is
+// deterministic so the loser's duplicate is simply discarded — results stay
+// bit-identical to node_disjoint_paths(net, s, t, options) either way.
+//
+// clear() takes every shard lock and must not race with concurrent paths()
+// callers that still want their results counted; it resets BOTH the stored
+// containers and the hit/miss/eviction counters, so a cleared cache is
+// indistinguishable from a fresh one (the previous behavior — counters
+// surviving clear() — made post-clear hit rates unintelligible).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/disjoint.hpp"
 #include "core/topology.hpp"
 
 namespace hhc::core {
 
+/// Point-in-time counters for one shard of the cache.
+struct CacheShardStats {
+  std::size_t entries = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+};
+
+/// Aggregate + per-shard snapshot, as returned by ContainerCache::stats().
+struct CacheStats {
+  std::size_t entries = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::vector<CacheShardStats> shards;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 class ContainerCache {
  public:
-  explicit ContainerCache(const HhcTopology& net) : net_{net} {}
+  struct Config {
+    /// Default construction knobs; per-call overrides key separate entries.
+    ConstructionOptions options{};
+    /// Number of independent shards (rounded up to a power of two, >= 1).
+    std::size_t shards = 16;
+    /// Per-shard entry cap; 0 = unbounded. When full, one resident entry is
+    /// displaced per insert (random replacement — cheap, and good enough for
+    /// the skewed workloads the cache exists for) and counted as an eviction.
+    std::size_t max_entries_per_shard = 0;
+  };
 
-  /// The m+1 node-disjoint paths for s -> t, served from the canonical
-  /// cache when possible. Results are bit-identical to
-  /// node_disjoint_paths(net, s, t) (asserted by tests).
+  /// The topology is held by reference (like sim::NetworkSimulator and every
+  /// other consumer): the caller keeps it alive for the cache's lifetime.
+  /// Copying it per cache was both wasteful and a trap — a cache built from
+  /// a temporary silently outlived its network.
+  /// (Two overloads rather than `Config config = {}`: gcc rejects a nested
+  /// class's default member initializers in a default argument while the
+  /// enclosing class is still open.)
+  explicit ContainerCache(const HhcTopology& net);
+  ContainerCache(const HhcTopology& net, Config config);
+
+  ContainerCache(const ContainerCache&) = delete;
+  ContainerCache& operator=(const ContainerCache&) = delete;
+
+  /// The m+1 node-disjoint paths for s -> t under the cache's default
+  /// options. Thread-safe; results are bit-identical to
+  /// node_disjoint_paths(net, s, t, options) (asserted by tests).
   [[nodiscard]] DisjointPathSet paths(Node s, Node t);
 
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
-  void clear() { cache_.clear(); }
+  /// Same, with per-call options (kept as a distinct cache entry). If
+  /// `cache_hit` is non-null it receives whether this call was served
+  /// without running the construction.
+  [[nodiscard]] DisjointPathSet paths(Node s, Node t,
+                                      const ConstructionOptions& options,
+                                      bool* cache_hit = nullptr);
+
+  [[nodiscard]] std::size_t hits() const noexcept;
+  [[nodiscard]] std::size_t misses() const noexcept;
+  [[nodiscard]] std::size_t evictions() const noexcept;
+  /// Total resident entries across shards (takes each shard lock briefly).
+  [[nodiscard]] std::size_t size() const;
+  /// Consistent per-shard + aggregate snapshot.
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Drops every entry AND resets all counters (see header comment).
+  void clear();
+
+  [[nodiscard]] const ConstructionOptions& options() const noexcept {
+    return config_.options;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const HhcTopology& net() const noexcept { return net_; }
 
  private:
   struct Key {
     std::uint64_t xdiff;
     std::uint64_t ys;
     std::uint64_t yt;
+    std::uint8_t ordering;
+    std::uint8_t selection;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       std::uint64_t h = k.xdiff * 0x9e3779b97f4a7c15ULL;
       h ^= (k.ys << 17) ^ (k.yt << 3) ^ (h >> 31);
+      h ^= (std::uint64_t{k.ordering} << 11) ^ (std::uint64_t{k.selection} << 7);
       return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
     }
   };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, DisjointPathSet, KeyHash> map;
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> evictions{0};
+  };
 
-  HhcTopology net_;
-  std::unordered_map<Key, DisjointPathSet, KeyHash> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  const HhcTopology& net_;
+  Config config_;
+  // unique_ptr because Shard (mutex + atomics) is neither movable nor
+  // copyable; the vector itself is immutable after construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace hhc::core

@@ -311,13 +311,6 @@ DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
              : different_cluster_paths(net, s, t, options);
 }
 
-DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
-                                    DimensionOrdering ordering) {
-  return node_disjoint_paths(net, s, t,
-                             ConstructionOptions{ordering,
-                                                 RouteSelectionPolicy::kCanonical});
-}
-
 bool verify_disjoint_path_set(const HhcTopology& net,
                               const DisjointPathSet& set, Node s, Node t,
                               std::string* why) {

@@ -58,9 +58,15 @@ enum class RouteSelectionPolicy {
 };
 
 /// Knobs of the construction; the defaults are the published algorithm.
+/// This is THE options surface: node_disjoint_paths, ContainerCache,
+/// fault::AdaptiveRouter, and query::PathService all take this one struct
+/// (designated initializers cover the "override one knob" case the removed
+/// positional overloads used to serve).
 struct ConstructionOptions {
   DimensionOrdering ordering = DimensionOrdering::kGrayCycle;
   RouteSelectionPolicy selection = RouteSelectionPolicy::kCanonical;
+
+  bool operator==(const ConstructionOptions&) const = default;
 };
 
 /// Constructs m+1 node-disjoint paths from s to t (s != t).
@@ -69,11 +75,6 @@ struct ConstructionOptions {
 /// a 2^m-node cluster, a constant for fixed m).
 [[nodiscard]] DisjointPathSet node_disjoint_paths(
     const HhcTopology& net, Node s, Node t, ConstructionOptions options = {});
-
-/// Convenience overload: override only the dimension ordering.
-[[nodiscard]] DisjointPathSet node_disjoint_paths(const HhcTopology& net,
-                                                  Node s, Node t,
-                                                  DimensionOrdering ordering);
 
 /// The cluster-level routes (X-dimension sequences) the construction picks;
 /// exposed for tests, ablations, and the routing-structure example.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "core/disjoint.hpp"
 
@@ -11,15 +12,6 @@ namespace hhc::fault {
 using core::FaultModel;
 using core::Node;
 using core::Path;
-
-const char* to_string(DegradationLevel level) noexcept {
-  switch (level) {
-    case DegradationLevel::kGuaranteed: return "guaranteed";
-    case DegradationLevel::kBestEffort: return "best-effort";
-    case DegradationLevel::kDisconnected: return "disconnected";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -62,38 +54,46 @@ Path survivor_bfs(const core::HhcTopology& net, Node s, Node t,
 
 }  // namespace
 
-AdaptiveRouteResult AdaptiveRouter::route(Node s, Node t,
-                                          const FaultModel& faults,
-                                          std::uint64_t time) const {
-  AdaptiveRouteResult result;
-  if (faults.node_faulty_at(s, time) || faults.node_faulty_at(t, time)) {
+query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
+  static const FaultModel kNoFaults;
+  const FaultModel& faults = query.faults != nullptr ? *query.faults : kNoFaults;
+  const Node s = query.s;
+  const Node t = query.t;
+
+  query::RouteResult result;
+  if (faults.node_faulty_at(s, query.time) ||
+      faults.node_faulty_at(t, query.time)) {
     return result;  // a dead endpoint is disconnection, not an error
   }
   if (s == t) {
-    result.path = {s};
+    result.paths = {Path{s}};
     result.level = DegradationLevel::kGuaranteed;
     return result;
   }
 
-  const auto container = core::node_disjoint_paths(net_, s, t);
+  const auto container =
+      cache_ != nullptr
+          ? cache_->paths(s, t, query.options, &result.cache_hit)
+          : core::node_disjoint_paths(net_, s, t, query.options);
+  const Path* best = nullptr;
   for (const Path& path : container.paths) {
-    if (!path_survives(path, faults, time)) {
+    if (!path_survives(path, faults, query.time)) {
       ++result.container_paths_blocked;
       continue;
     }
-    if (result.path.empty() || path.size() < result.path.size()) {
-      result.path = path;
-    }
+    if (best == nullptr || path.size() < best->size()) best = &path;
   }
-  if (!result.path.empty()) {
+  if (best != nullptr) {
+    result.paths = {*best};
     result.level = DegradationLevel::kGuaranteed;
     return result;
   }
 
   result.used_fallback = true;
-  result.path = survivor_bfs(net_, s, t, faults, time);
-  result.level = result.path.empty() ? DegradationLevel::kDisconnected
-                                     : DegradationLevel::kBestEffort;
+  Path detour = survivor_bfs(net_, s, t, faults, query.time);
+  result.level = detour.empty() ? DegradationLevel::kDisconnected
+                                : DegradationLevel::kBestEffort;
+  if (!detour.empty()) result.paths.push_back(std::move(detour));
   return result;
 }
 

@@ -14,45 +14,57 @@
 // so a caller always learns *why* there is no path, never just an empty
 // vector. The BFS walks the implicit topology (no explicit graph build) and
 // is intended for campaign-scale instances (m <= 4).
+//
+// Results are reported in the unified query vocabulary
+// (query::PairQuery -> query::RouteResult; see query/types.hpp), so
+// "container vs fallback vs disconnected" reads the same here, in the
+// PathService, and in the sim. The router can optionally share a
+// core::ContainerCache — query::PathService wires its sharded cache in — so
+// container lookups under heavy fault-aware traffic hit the cache instead
+// of re-running the construction per call.
 #pragma once
 
 #include <cstdint>
 
+#include "core/container_cache.hpp"
 #include "core/fault_model.hpp"
 #include "core/topology.hpp"
+#include "query/types.hpp"
 
 namespace hhc::fault {
 
-enum class DegradationLevel {
-  kGuaranteed,    // delivered over a surviving container path
-  kBestEffort,    // container fully blocked; survivor-subgraph BFS succeeded
-  kDisconnected,  // no fault-free s-t path exists at all
-};
-
-[[nodiscard]] const char* to_string(DegradationLevel level) noexcept;
-
-struct AdaptiveRouteResult {
-  core::Path path;  // empty iff level == kDisconnected
-  DegradationLevel level = DegradationLevel::kDisconnected;
-  std::size_t container_paths_blocked = 0;  // of the m+1 container paths
-  bool used_fallback = false;               // BFS fallback engaged
-
-  [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
-};
+// The degradation ladder lives in query/types.hpp now; re-exported here so
+// fault-layer callers keep spelling it fault::DegradationLevel.
+using query::DegradationLevel;
+using query::to_string;
 
 class AdaptiveRouter {
  public:
-  explicit AdaptiveRouter(const core::HhcTopology& net) : net_{net} {}
+  /// `cache` (optional, not owned) serves the container lookups; it must
+  /// outlive the router and belong to the same topology. Without one, every
+  /// route() call runs the construction directly.
+  explicit AdaptiveRouter(const core::HhcTopology& net,
+                          core::ContainerCache* cache = nullptr)
+      : net_{net}, cache_{cache} {}
 
-  /// Routes s -> t around the faults active at `time`. Never throws on
+  /// Routes query.s -> query.t around the faults in query.faults (treated
+  /// as fault-free when null) at instant query.time. Never throws on
   /// blocked or faulty-endpoint inputs — a faulty endpoint is reported as
-  /// kDisconnected, which is what it means operationally.
-  [[nodiscard]] AdaptiveRouteResult route(core::Node s, core::Node t,
-                                          const core::FaultModel& faults,
-                                          std::uint64_t time = 0) const;
+  /// kDisconnected, which is what it means operationally. The result holds
+  /// at most one path: the delivered route.
+  [[nodiscard]] query::RouteResult route(const query::PairQuery& query) const;
+
+  /// Convenience wrapper for direct fault-layer callers.
+  [[nodiscard]] query::RouteResult route(core::Node s, core::Node t,
+                                         const core::FaultModel& faults,
+                                         std::uint64_t time = 0) const {
+    return route(query::PairQuery{
+        .s = s, .t = t, .options = {}, .faults = &faults, .time = time});
+  }
 
  private:
   const core::HhcTopology& net_;
+  core::ContainerCache* cache_;
 };
 
 }  // namespace hhc::fault

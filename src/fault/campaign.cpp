@@ -56,7 +56,7 @@ TrialOutcome run_trial(const core::HhcTopology& net,
     const auto baseline = core::node_disjoint_paths(net, s, t).min_length();
     outcome.inflation = baseline == 0
                             ? 1.0
-                            : static_cast<double>(routed.path.size() - 1) /
+                            : static_cast<double>(routed.primary().size() - 1) /
                                   static_cast<double>(baseline);
   }
   return outcome;

@@ -1,0 +1,96 @@
+#include "query/path_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace hhc::query {
+
+PathService::PathService(const core::HhcTopology& net, PathServiceConfig config)
+    : net_{net},
+      config_{config},
+      cache_{net, core::ContainerCache::Config{
+                      .options = config.options,
+                      .shards = config.cache_shards,
+                      .max_entries_per_shard = config.max_entries_per_shard}},
+      router_{net, &cache_} {
+  if (config_.threads != 1) pool_.emplace(config_.threads);
+}
+
+RouteResult PathService::answer(const PairQuery& query) {
+  util::Stopwatch watch;
+  RouteResult result = answer_impl(query);
+  result.micros = watch.micros();
+  latency_.record(result.micros);
+
+  (query.faults == nullptr ? pristine_ : fault_aware_)
+      .fetch_add(1, std::memory_order_relaxed);
+  switch (result.level) {
+    case DegradationLevel::kGuaranteed:
+      guaranteed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradationLevel::kBestEffort:
+      best_effort_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradationLevel::kDisconnected:
+      disconnected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return result;
+}
+
+RouteResult PathService::answer_impl(const PairQuery& query) {
+  if (!net_.contains(query.s) || !net_.contains(query.t)) {
+    throw std::invalid_argument("PathService: node out of range");
+  }
+
+  if (query.faults != nullptr) return router_.route(query);
+
+  RouteResult result;
+  result.level = DegradationLevel::kGuaranteed;
+  if (query.s == query.t) {
+    result.paths = {core::Path{query.s}};
+    return result;
+  }
+  auto container =
+      cache_.paths(query.s, query.t, query.options, &result.cache_hit);
+  result.paths = std::move(container.paths);
+  return result;
+}
+
+std::vector<RouteResult> PathService::answer(
+    std::span<const PairQuery> queries) {
+  std::vector<RouteResult> results(queries.size());
+  const auto body = [&](std::size_t i) { results[i] = answer(queries[i]); };
+  if (pool_) {
+    pool_->parallel_for(0, queries.size(), body);
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i) body(i);
+  }
+  return results;
+}
+
+ServiceStats PathService::stats() const {
+  ServiceStats stats;
+  stats.pristine = pristine_.load(std::memory_order_relaxed);
+  stats.fault_aware = fault_aware_.load(std::memory_order_relaxed);
+  stats.queries = stats.pristine + stats.fault_aware;
+  stats.guaranteed = guaranteed_.load(std::memory_order_relaxed);
+  stats.best_effort = best_effort_.load(std::memory_order_relaxed);
+  stats.disconnected = disconnected_.load(std::memory_order_relaxed);
+  stats.cache = cache_.stats();
+  stats.latency = latency_.snapshot();
+  return stats;
+}
+
+void PathService::reset_stats() noexcept {
+  pristine_.store(0, std::memory_order_relaxed);
+  fault_aware_.store(0, std::memory_order_relaxed);
+  guaranteed_.store(0, std::memory_order_relaxed);
+  best_effort_.store(0, std::memory_order_relaxed);
+  disconnected_.store(0, std::memory_order_relaxed);
+  latency_.reset();
+}
+
+}  // namespace hhc::query

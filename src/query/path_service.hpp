@@ -1,0 +1,109 @@
+// hhc::query::PathService — the concurrent path-query engine.
+//
+// One thread-safe object that every consumer of disjoint-path routing talks
+// to, layered over the existing construction:
+//
+//   * a sharded translation-canonical ContainerCache (per-shard mutexes,
+//     lock-free counters) so concurrent queries scale with shards, not a
+//     global lock, while answers stay bit-identical to
+//     node_disjoint_paths(net, s, t, options);
+//   * a batch API answer(span<PairQuery>) that fans out over the in-repo
+//     util::ThreadPool with deterministic result ordering: results[i] always
+//     answers queries[i], and the routed paths/levels are identical for any
+//     thread count (only the timing/cache_hit telemetry fields may differ,
+//     since which racing thread populates a cache entry first is scheduling-
+//     dependent);
+//   * fault-aware queries: a PairQuery carrying a FaultModel view routes
+//     through fault::AdaptiveRouter — which shares this service's cache for
+//     its container lookups — so one service answers both pristine and
+//     degraded-mode traffic;
+//   * observability: per-shard hit/miss/eviction counters, a lock-free query
+//     latency histogram, and a stats() snapshot renderable as table, CSV, or
+//     JSON (query/stats.hpp).
+//
+// Semantics note: unlike the bare construction (which throws), a service
+// treats s == t as the trivial answer — one zero-length path, kGuaranteed —
+// because for an operational query engine "route to yourself" is a valid
+// request, not a programming error. Out-of-range nodes still throw.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/container_cache.hpp"
+#include "core/topology.hpp"
+#include "fault/adaptive_router.hpp"
+#include "query/stats.hpp"
+#include "query/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hhc::query {
+
+struct PathServiceConfig {
+  /// Default construction knobs; PairQuery.options overrides per query.
+  core::ConstructionOptions options{};
+  /// Cache sharding / capacity (see core::ContainerCache::Config).
+  std::size_t cache_shards = 16;
+  std::size_t max_entries_per_shard = 0;  // 0 = unbounded
+  /// Workers for the batch API: 0 = hardware concurrency, 1 = run batches
+  /// inline on the caller's thread (no pool spawned at all).
+  std::size_t threads = 1;
+};
+
+class PathService {
+ public:
+  /// The topology is held by reference; keep it alive beside the service.
+  explicit PathService(const core::HhcTopology& net,
+                       PathServiceConfig config = {});
+
+  PathService(const PathService&) = delete;
+  PathService& operator=(const PathService&) = delete;
+
+  /// Answers one query. Thread-safe: any number of threads may call
+  /// concurrently (this is what the batch API does internally). Throws
+  /// std::invalid_argument for out-of-range nodes.
+  [[nodiscard]] RouteResult answer(const PairQuery& query);
+
+  /// Answers a batch, fanned out over the service's thread pool. results[i]
+  /// corresponds to queries[i] regardless of thread count or scheduling.
+  [[nodiscard]] std::vector<RouteResult> answer(
+      std::span<const PairQuery> queries);
+
+  /// Consistent telemetry snapshot (cheap; safe under concurrent answer()).
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Zeroes the service-level counters and the latency histogram. Cache
+  /// counters/entries are owned by the cache: use cache().clear().
+  void reset_stats() noexcept;
+
+  [[nodiscard]] core::ContainerCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const core::ContainerCache& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const core::HhcTopology& net() const noexcept { return net_; }
+  /// Batch workers actually in use (1 when batches run inline).
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return pool_ ? pool_->size() : 1;
+  }
+
+ private:
+  [[nodiscard]] RouteResult answer_impl(const PairQuery& query);
+
+  const core::HhcTopology& net_;
+  PathServiceConfig config_;
+  core::ContainerCache cache_;
+  fault::AdaptiveRouter router_;
+  std::optional<util::ThreadPool> pool_;
+
+  std::atomic<std::uint64_t> pristine_{0};
+  std::atomic<std::uint64_t> fault_aware_{0};
+  std::atomic<std::uint64_t> guaranteed_{0};
+  std::atomic<std::uint64_t> best_effort_{0};
+  std::atomic<std::uint64_t> disconnected_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace hhc::query

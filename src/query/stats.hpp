@@ -1,0 +1,77 @@
+// Built-in observability for the path-query engine.
+//
+// LatencyHistogram is a fixed array of lock-free power-of-two microsecond
+// buckets (bucket b counts latencies in [2^(b-1), 2^b) µs, bucket 0 the
+// sub-microsecond ones), so recording on the hot query path is one relaxed
+// fetch_add and never blocks a concurrent reader. Percentiles are read off
+// the bucket boundaries — upper edge, i.e. conservative — which is the
+// right fidelity for "is p99 a microsecond or a millisecond" dashboards.
+//
+// ServiceStats is the plain-data snapshot PathService::stats() returns:
+// query/level totals, the cache's per-shard counters, and the latency
+// distribution, renderable as an aligned table, CSV, or JSON (via core::io)
+// so service telemetry lands in the same formats as campaign reports.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/container_cache.hpp"
+
+namespace hhc::query {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  // kBuckets power-of-two µs bins
+    std::uint64_t count = 0;
+    double max_micros = 0.0;
+
+    /// Upper bucket edge (µs) below which a `p` fraction of samples fall;
+    /// 0 when empty. p in [0, 1].
+    [[nodiscard]] double percentile(double p) const noexcept;
+  };
+
+  /// Thread-safe, wait-free; negative samples clamp to bucket 0.
+  void record(double micros) noexcept;
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// Point-in-time service telemetry; see PathService::stats().
+struct ServiceStats {
+  std::uint64_t queries = 0;
+  std::uint64_t pristine = 0;       // container-only queries
+  std::uint64_t fault_aware = 0;    // queries with a fault view attached
+  std::uint64_t guaranteed = 0;
+  std::uint64_t best_effort = 0;
+  std::uint64_t disconnected = 0;
+
+  core::CacheStats cache;           // aggregate + per-shard counters
+
+  LatencyHistogram::Snapshot latency;
+
+  [[nodiscard]] double hit_rate() const noexcept { return cache.hit_rate(); }
+
+  /// One row per cache shard plus a "total" row carrying the query-level
+  /// counters and latency percentiles.
+  [[nodiscard]] std::string to_csv() const;
+  /// Full nested snapshot, including the raw latency buckets.
+  [[nodiscard]] std::string to_json() const;
+  /// Aligned human-readable summary (util::Table).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace hhc::query

@@ -1,0 +1,89 @@
+// The unified path-query surface.
+//
+// Before this module, every consumer of the disjoint-path construction had
+// its own entry point and its own result shape: the sim called
+// node_disjoint_paths directly, the fault layer had AdaptiveRouteResult,
+// examples hand-rolled both. PairQuery/RouteResult is the one vocabulary
+// they all speak now: a query names a pair, the construction options, and
+// optionally a fault view (FaultModel + evaluation instant); a result
+// carries the paths, HOW the answer was obtained (DegradationLevel +
+// fallback/blocked detail), and what it cost (cache hit, service-side
+// latency).
+//
+// This header is intentionally header-only and dependency-light so that
+// both layers below the service (fault::AdaptiveRouter reports its results
+// in this vocabulary) and above it (query::PathService, sim transfers) can
+// include it without link-time cycles.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "core/topology.hpp"
+
+namespace hhc::core {
+class FaultModel;
+}
+
+namespace hhc::query {
+
+/// How an answer was obtained — "container vs fallback vs disconnected",
+/// reported the same way by every routing entry point.
+enum class DegradationLevel {
+  kGuaranteed,    // served by the disjoint container (the paper's guarantee)
+  kBestEffort,    // container fully blocked; survivor-subgraph BFS succeeded
+  kDisconnected,  // no fault-free s-t path exists at all
+};
+
+[[nodiscard]] constexpr const char* to_string(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kGuaranteed: return "guaranteed";
+    case DegradationLevel::kBestEffort: return "best-effort";
+    case DegradationLevel::kDisconnected: return "disconnected";
+  }
+  return "?";
+}
+
+/// One path query. With `faults == nullptr` the query is pristine and the
+/// answer is the full m+1-path container, bit-identical to
+/// node_disjoint_paths(net, s, t, options). With a fault view attached the
+/// answer degrades gracefully through the AdaptiveRouter ladder.
+struct PairQuery {
+  core::Node s = 0;
+  core::Node t = 0;
+  core::ConstructionOptions options{};
+  const core::FaultModel* faults = nullptr;  // not owned; null = pristine
+  std::uint64_t time = 0;                    // fault-evaluation instant
+};
+
+/// One answer. Pristine queries fill `paths` with the whole container
+/// (level kGuaranteed); fault-aware queries carry the single delivered
+/// route (kGuaranteed over a surviving container path, kBestEffort via the
+/// BFS fallback) or nothing at all (kDisconnected).
+struct RouteResult {
+  std::vector<core::Path> paths;
+  DegradationLevel level = DegradationLevel::kDisconnected;
+  std::size_t container_paths_blocked = 0;  // of the m+1 container paths
+  bool used_fallback = false;               // BFS fallback engaged
+  bool cache_hit = false;     // served without running the construction
+  double micros = 0.0;        // service-side wall time (0 outside a service)
+
+  [[nodiscard]] bool ok() const noexcept { return !paths.empty(); }
+
+  /// The route a single message should take: the shortest of `paths`.
+  /// Throws std::logic_error when there is none (check ok() first).
+  [[nodiscard]] const core::Path& primary() const {
+    if (paths.empty()) {
+      throw std::logic_error("RouteResult::primary: no path (disconnected)");
+    }
+    const core::Path* best = &paths.front();
+    for (const core::Path& path : paths) {
+      if (path.size() < best->size()) best = &path;
+    }
+    return *best;
+  }
+};
+
+}  // namespace hhc::query

@@ -1,6 +1,7 @@
 #include "sim/resilient.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/disjoint.hpp"
@@ -24,12 +25,19 @@ std::pair<bool, std::uint64_t> run_single(const core::HhcTopology& net,
   return {false, simulator.packets()[0].hop};
 }
 
-}  // namespace
+// The service answers in the unified RouteResult shape; the transfer
+// machinery below wants the plain container.
+core::DisjointPathSet container_via(query::PathService& service, core::Node s,
+                                    core::Node t) {
+  auto result = service.answer(query::PairQuery{.s = s, .t = t});
+  core::DisjointPathSet container;
+  container.paths = std::move(result.paths);
+  return container;
+}
 
-TransferOutcome serial_retry_transfer(const core::HhcTopology& net,
-                                      core::Node s, core::Node t,
-                                      const core::FaultSet& faults) {
-  const auto container = core::node_disjoint_paths(net, s, t);
+TransferOutcome serial_retry_impl(const core::HhcTopology& net,
+                                  const core::DisjointPathSet& container,
+                                  const core::FaultSet& faults) {
   TransferOutcome outcome;
   std::uint64_t clock = 0;
   for (const core::Path& path : container.paths) {
@@ -49,11 +57,10 @@ TransferOutcome serial_retry_transfer(const core::HhcTopology& net,
   return outcome;
 }
 
-TransferOutcome backoff_retry_transfer(const core::HhcTopology& net,
-                                       core::Node s, core::Node t,
-                                       const core::FaultModel& faults,
-                                       std::size_t max_attempts) {
-  const auto container = core::node_disjoint_paths(net, s, t);
+TransferOutcome backoff_retry_impl(const core::HhcTopology& net,
+                                   const core::DisjointPathSet& container,
+                                   const core::FaultModel& faults,
+                                   std::size_t max_attempts) {
   TransferOutcome outcome;
   std::uint64_t clock = 0;
   for (std::size_t k = 0; k < max_attempts; ++k) {
@@ -78,10 +85,9 @@ TransferOutcome backoff_retry_transfer(const core::HhcTopology& net,
   return outcome;
 }
 
-TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,
-                                   core::Node t,
-                                   const core::FaultSet& faults) {
-  const auto container = core::node_disjoint_paths(net, s, t);
+TransferOutcome dispersal_impl(const core::HhcTopology& net,
+                               const core::DisjointPathSet& container,
+                               const core::FaultSet& faults) {
   NetworkSimulator simulator{net};
   simulator.set_faults(faults);
   for (const auto& path : container.paths) simulator.inject(path, 0);
@@ -106,9 +112,9 @@ TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,
   return outcome;
 }
 
-TransferOutcome flooding_transfer(const core::HhcTopology& net, core::Node s,
-                                  core::Node t, const core::FaultSet& faults) {
-  const auto container = core::node_disjoint_paths(net, s, t);
+TransferOutcome flooding_impl(const core::HhcTopology& net,
+                              const core::DisjointPathSet& container,
+                              const core::FaultSet& faults) {
   NetworkSimulator simulator{net};
   simulator.set_faults(faults);
   for (const auto& path : container.paths) simulator.inject(path, 0);
@@ -136,6 +142,58 @@ TransferOutcome flooding_transfer(const core::HhcTopology& net, core::Node s,
     outcome.wasted_transmissions -= best;
   }
   return outcome;
+}
+
+}  // namespace
+
+TransferOutcome serial_retry_transfer(const core::HhcTopology& net,
+                                      core::Node s, core::Node t,
+                                      const core::FaultSet& faults) {
+  return serial_retry_impl(net, core::node_disjoint_paths(net, s, t), faults);
+}
+
+TransferOutcome serial_retry_transfer(query::PathService& service, core::Node s,
+                                      core::Node t,
+                                      const core::FaultSet& faults) {
+  return serial_retry_impl(service.net(), container_via(service, s, t), faults);
+}
+
+TransferOutcome backoff_retry_transfer(const core::HhcTopology& net,
+                                       core::Node s, core::Node t,
+                                       const core::FaultModel& faults,
+                                       std::size_t max_attempts) {
+  return backoff_retry_impl(net, core::node_disjoint_paths(net, s, t), faults,
+                            max_attempts);
+}
+
+TransferOutcome backoff_retry_transfer(query::PathService& service,
+                                       core::Node s, core::Node t,
+                                       const core::FaultModel& faults,
+                                       std::size_t max_attempts) {
+  return backoff_retry_impl(service.net(), container_via(service, s, t), faults,
+                            max_attempts);
+}
+
+TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,
+                                   core::Node t,
+                                   const core::FaultSet& faults) {
+  return dispersal_impl(net, core::node_disjoint_paths(net, s, t), faults);
+}
+
+TransferOutcome dispersal_transfer(query::PathService& service, core::Node s,
+                                   core::Node t,
+                                   const core::FaultSet& faults) {
+  return dispersal_impl(service.net(), container_via(service, s, t), faults);
+}
+
+TransferOutcome flooding_transfer(const core::HhcTopology& net, core::Node s,
+                                  core::Node t, const core::FaultSet& faults) {
+  return flooding_impl(net, core::node_disjoint_paths(net, s, t), faults);
+}
+
+TransferOutcome flooding_transfer(query::PathService& service, core::Node s,
+                                  core::Node t, const core::FaultSet& faults) {
+  return flooding_impl(service.net(), container_via(service, s, t), faults);
 }
 
 }  // namespace hhc::sim

@@ -18,6 +18,13 @@
 //                  serial-retry gives up after m+1 permanently blocked
 //                  attempts, backoff keeps waiting — a later pass over an
 //                  already-tried path succeeds once the outage is repaired.
+//
+// Each strategy comes in two flavors: the original free function that builds
+// its container directly, and an overload taking a query::PathService — the
+// unified routing entry point — so repeated transfers between translated
+// pairs hit the service's sharded cache instead of re-running the
+// construction per message. Both produce identical outcomes (asserted by
+// tests); the service flavor is what a long-running deployment should use.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,7 @@
 #include "core/fault_model.hpp"
 #include "core/fault_routing.hpp"
 #include "core/topology.hpp"
+#include "query/path_service.hpp"
 
 namespace hhc::sim {
 
@@ -57,6 +65,22 @@ struct TransferOutcome {
 /// growing wait rides out transient outages). Stops after `max_attempts`.
 [[nodiscard]] TransferOutcome backoff_retry_transfer(
     const core::HhcTopology& net, core::Node s, core::Node t,
+    const core::FaultModel& faults, std::size_t max_attempts = 8);
+
+/// Service-routed flavors: the container comes from a pristine
+/// service.answer() (cached, bit-identical), the packet simulation is
+/// unchanged.
+[[nodiscard]] TransferOutcome serial_retry_transfer(
+    query::PathService& service, core::Node s, core::Node t,
+    const core::FaultSet& faults);
+[[nodiscard]] TransferOutcome dispersal_transfer(query::PathService& service,
+                                                 core::Node s, core::Node t,
+                                                 const core::FaultSet& faults);
+[[nodiscard]] TransferOutcome flooding_transfer(query::PathService& service,
+                                                core::Node s, core::Node t,
+                                                const core::FaultSet& faults);
+[[nodiscard]] TransferOutcome backoff_retry_transfer(
+    query::PathService& service, core::Node s, core::Node t,
     const core::FaultModel& faults, std::size_t max_attempts = 8);
 
 }  // namespace hhc::sim

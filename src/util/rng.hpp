@@ -5,8 +5,12 @@
 // instead of relying on the unspecified std::default_random_engine.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace hhc::util {
 
@@ -85,6 +89,38 @@ class Xoshiro256 {
   }
 
   std::uint64_t state_[4]{};
+};
+
+/// Zipf-distributed ranks over [0, n): rank i is drawn with probability
+/// proportional to (i+1)^-skew. skew = 0 degenerates to uniform; the higher
+/// the skew, the hotter the head of the distribution — the standard model
+/// for repeated-pair query workloads (and what makes a canonical-container
+/// cache earn its keep). Sampling is inverse-CDF over a precomputed table,
+/// so draws are O(log n) and exactly reproducible for a given generator.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(std::size_t n, double skew) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draws one rank; requires size() > 0.
+  template <typename Rng>
+  [[nodiscard]] std::size_t operator()(Rng& rng) const {
+    const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1
 };
 
 }  // namespace hhc::util

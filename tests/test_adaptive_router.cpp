@@ -48,7 +48,7 @@ TEST(AdaptiveRouter, FaultFreeIsGuaranteed) {
     EXPECT_EQ(r.level, DegradationLevel::kGuaranteed);
     EXPECT_FALSE(r.used_fallback);
     EXPECT_EQ(r.container_paths_blocked, 0u);
-    EXPECT_TRUE(core::is_valid_path(net, r.path, s, t));
+    EXPECT_TRUE(core::is_valid_path(net, r.primary(), s, t));
   }
 }
 
@@ -64,8 +64,8 @@ TEST(AdaptiveRouter, UnderMNodeFaultsStaysGuaranteed) {
       const auto r = router.route(s, t, faults);
       ASSERT_EQ(r.level, DegradationLevel::kGuaranteed)
           << "m=" << m << " s=" << s << " t=" << t;
-      EXPECT_TRUE(core::is_valid_path(net, r.path, s, t));
-      EXPECT_TRUE(path_avoids_faults(r.path, faults));
+      EXPECT_TRUE(core::is_valid_path(net, r.primary(), s, t));
+      EXPECT_TRUE(path_avoids_faults(r.primary(), faults));
     }
   }
 }
@@ -86,8 +86,8 @@ TEST(AdaptiveRouter, FallsBackWhenAllContainerPathsBlocked) {
   ASSERT_EQ(r.level, DegradationLevel::kBestEffort);
   EXPECT_TRUE(r.used_fallback);
   EXPECT_EQ(r.container_paths_blocked, container.paths.size());
-  EXPECT_TRUE(core::is_valid_path(net, r.path, s, t));
-  EXPECT_TRUE(path_avoids_faults(r.path, faults));
+  EXPECT_TRUE(core::is_valid_path(net, r.primary(), s, t));
+  EXPECT_TRUE(path_avoids_faults(r.primary(), faults));
 }
 
 TEST(AdaptiveRouter, LinkFaultsAloneCanForceFallback) {
@@ -107,8 +107,8 @@ TEST(AdaptiveRouter, LinkFaultsAloneCanForceFallback) {
   EXPECT_EQ(faults.node_fault_count(), 0u);
   const auto r = router.route(s, t, faults);
   ASSERT_EQ(r.level, DegradationLevel::kBestEffort);
-  EXPECT_TRUE(core::is_valid_path(net, r.path, s, t));
-  EXPECT_TRUE(path_avoids_faults(r.path, faults));
+  EXPECT_TRUE(core::is_valid_path(net, r.primary(), s, t));
+  EXPECT_TRUE(path_avoids_faults(r.primary(), faults));
 }
 
 TEST(AdaptiveRouter, ReportsDisconnectionInsteadOfSilentEmpty) {
@@ -141,7 +141,7 @@ TEST(AdaptiveRouter, TrivialSelfRouteIsGuaranteed) {
   const AdaptiveRouter router{net};
   const auto r = router.route(9, 9, FaultModel{});
   EXPECT_EQ(r.level, DegradationLevel::kGuaranteed);
-  EXPECT_EQ(r.path, Path{9});
+  EXPECT_EQ(r.primary(), Path{9});
 }
 
 TEST(AdaptiveRouter, TransientFaultOnlyBlocksDuringItsWindow) {
@@ -183,8 +183,8 @@ TEST(AdaptiveRouter, MatchesBfsReachabilityUnderRandomMixedFaults) {
       ASSERT_EQ(r.ok(), reachable_in_survivor(net, s, t, faults))
           << "m=" << m << " trial " << trial;
       if (r.ok()) {
-        EXPECT_TRUE(core::is_valid_path(net, r.path, s, t));
-        EXPECT_TRUE(path_avoids_faults(r.path, faults));
+        EXPECT_TRUE(core::is_valid_path(net, r.primary(), s, t));
+        EXPECT_TRUE(path_avoids_faults(r.primary(), faults));
       } else {
         EXPECT_EQ(r.level, DegradationLevel::kDisconnected);
       }
@@ -201,6 +201,42 @@ TEST(AdaptiveRouter, DegradationLevelNames) {
   EXPECT_STREQ(to_string(DegradationLevel::kGuaranteed), "guaranteed");
   EXPECT_STREQ(to_string(DegradationLevel::kBestEffort), "best-effort");
   EXPECT_STREQ(to_string(DegradationLevel::kDisconnected), "disconnected");
+}
+
+TEST(AdaptiveRouter, SharedCacheChangesNothingButCounts) {
+  // Wiring a ContainerCache in must be invisible in the answers — only the
+  // cost profile changes (second identical query is a hit).
+  const HhcTopology net{2};
+  const AdaptiveRouter direct{net};
+  core::ContainerCache cache{net};
+  const AdaptiveRouter cached{net, &cache};
+  util::Xoshiro256 rng{77};
+  for (const auto& [s, t] : core::sample_pairs(net, 80, 9)) {
+    FaultModel::RandomSpec spec;
+    spec.node_faults = rng.below(net.m() + 2);
+    spec.internal_link_faults = rng.below(2);
+    const auto faults = FaultModel::random(net, spec, s, t, rng);
+    const auto a = direct.route(s, t, faults);
+    const auto b = cached.route(s, t, faults);
+    ASSERT_EQ(a.level, b.level);
+    EXPECT_EQ(a.paths, b.paths);
+    EXPECT_EQ(a.container_paths_blocked, b.container_paths_blocked);
+    EXPECT_EQ(a.used_fallback, b.used_fallback);
+  }
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(AdaptiveRouter, PairQueryFormMatchesConvenienceForm) {
+  const HhcTopology net{2};
+  const AdaptiveRouter router{net};
+  FaultModel faults;
+  faults.fail_node(7);
+  const auto a = router.route(3, 60, faults, /*time=*/2);
+  const auto b = router.route(query::PairQuery{
+      .s = 3, .t = 60, .faults = &faults, .time = 2});
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.container_paths_blocked, b.container_paths_blocked);
 }
 
 }  // namespace

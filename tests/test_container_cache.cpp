@@ -61,13 +61,88 @@ TEST(ContainerCache, SameClusterPairsWork) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
-TEST(ContainerCache, ClearResetsStorage) {
+TEST(ContainerCache, ClearResetsStorageAndCounters) {
+  // clear() means "as good as freshly constructed": entries AND counters go,
+  // so post-clear hit rates are meaningful (the documented choice).
   const HhcTopology net{2};
   ContainerCache cache{net};
   (void)cache.paths(0, 63);
+  (void)cache.paths(0, 63);
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ContainerCache, TopologyHeldByReference) {
+  // The cache no longer copies the topology: answers must come from the
+  // caller's instance. (Compile-time shape: ContainerCache is not copyable
+  // and takes const&; this exercises the aliasing at runtime.)
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  EXPECT_EQ(&cache.net(), &net);
+}
+
+TEST(ContainerCache, OptionsArePartOfTheKey) {
+  // kCanonical and kBalanced build different containers for some pairs;
+  // serving one policy's container for the other would break bit-identity.
+  const HhcTopology net{3};
+  ContainerCache cache{net};
+  const ConstructionOptions balanced{.selection = RouteSelectionPolicy::kBalanced};
+  for (const auto& [s, t] : sample_pairs(net, 120, 5)) {
+    EXPECT_EQ(cache.paths(s, t).paths, node_disjoint_paths(net, s, t).paths);
+    EXPECT_EQ(cache.paths(s, t, balanced).paths,
+              node_disjoint_paths(net, s, t, balanced).paths);
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), 240u);
+}
+
+TEST(ContainerCache, ReportsPerCallHitState) {
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  bool hit = true;
+  (void)cache.paths(0, 63, {}, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.paths(0, 63, {}, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(ContainerCache, EvictionKeepsShardsBounded) {
+  const HhcTopology net{3};
+  ContainerCache cache{net, {.shards = 2, .max_entries_per_shard = 4}};
+  for (const auto& [s, t] : sample_pairs(net, 400, 11)) {
+    const auto set = cache.paths(s, t);
+    std::string why;
+    ASSERT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
+  }
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.evictions(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+  for (const auto& shard : stats.shards) EXPECT_LE(shard.entries, 4u);
+}
+
+TEST(ContainerCache, StatsSnapshotAddsUp) {
+  const HhcTopology net{2};
+  ContainerCache cache{net, {.shards = 5}};  // rounds up to 8
+  EXPECT_EQ(cache.shard_count(), 8u);
+  for (const auto& [s, t] : sample_pairs(net, 60, 13)) (void)cache.paths(s, t);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 60u);
+  EXPECT_EQ(stats.hits, cache.hits());
+  EXPECT_EQ(stats.misses, cache.misses());
+  std::size_t entries = 0;
+  std::size_t hits = 0;
+  for (const auto& shard : stats.shards) {
+    entries += shard.entries;
+    hits += shard.hits;
+  }
+  EXPECT_EQ(entries, stats.entries);
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_GT(stats.hit_rate(), 0.0);
 }
 
 TEST(ContainerCache, RejectsBadInput) {

@@ -46,7 +46,9 @@ TEST(FaultCampaign, BeyondGuaranteeDegradesGracefully) {
   std::size_t fallbacks = 0;
   for (const auto& row : report.rows) {
     if (row.faults > 2) fallbacks += row.best_effort;
-    if (row.delivered() > 0) EXPECT_GT(row.avg_inflation, 0.0);
+    if (row.delivered() > 0) {
+      EXPECT_GT(row.avg_inflation, 0.0);
+    }
   }
   // Past the guarantee the BFS fallback must actually rescue some trials
   // (blocked container but connected survivor subgraph).

@@ -19,7 +19,8 @@ namespace {
 
 void check_pair(const HhcTopology& net, Node s, Node t,
                 DimensionOrdering ordering = DimensionOrdering::kGrayCycle) {
-  const auto set = node_disjoint_paths(net, s, t, ordering);
+  const auto set =
+      node_disjoint_paths(net, s, t, ConstructionOptions{.ordering = ordering});
   std::string why;
   ASSERT_TRUE(verify_disjoint_path_set(net, set, s, t, &why))
       << "m=" << net.m() << " s=" << s << " t=" << t << ": " << why;

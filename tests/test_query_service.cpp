@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "core/routing.hpp"
+#include "fault/adaptive_router.hpp"
+#include "query/path_service.hpp"
+#include "util/rng.hpp"
+
+namespace hhc::query {
+namespace {
+
+using core::HhcTopology;
+using core::Node;
+
+TEST(PathService, PristineAnswersBitIdenticalToDirectConstruction) {
+  const HhcTopology net{3};
+  PathService service{net};
+  for (const auto& [s, t] : core::sample_pairs(net, 300, 77)) {
+    const auto direct = core::node_disjoint_paths(net, s, t);
+    const auto answer = service.answer(PairQuery{.s = s, .t = t});
+    EXPECT_EQ(answer.level, DegradationLevel::kGuaranteed);
+    EXPECT_FALSE(answer.used_fallback);
+    ASSERT_EQ(answer.paths.size(), direct.paths.size());
+    for (std::size_t i = 0; i < direct.paths.size(); ++i) {
+      EXPECT_EQ(answer.paths[i], direct.paths[i]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(PathService, OptionsThreadThroughToTheConstruction) {
+  const HhcTopology net{3};
+  PathService service{net};
+  const core::ConstructionOptions balanced{
+      .selection = core::RouteSelectionPolicy::kBalanced};
+  for (const auto& [s, t] : core::sample_pairs(net, 100, 5)) {
+    const auto direct = core::node_disjoint_paths(net, s, t, balanced);
+    const auto answer =
+        service.answer(PairQuery{.s = s, .t = t, .options = balanced});
+    EXPECT_EQ(answer.paths, direct.paths);
+  }
+}
+
+TEST(PathService, SelfQueryIsTrivialNotAnError) {
+  const HhcTopology net{2};
+  PathService service{net};
+  const auto answer = service.answer(PairQuery{.s = 9, .t = 9});
+  EXPECT_EQ(answer.level, DegradationLevel::kGuaranteed);
+  ASSERT_EQ(answer.paths.size(), 1u);
+  EXPECT_EQ(answer.paths[0], core::Path{9});
+}
+
+TEST(PathService, OutOfRangeNodesThrow) {
+  const HhcTopology net{2};
+  PathService service{net};
+  EXPECT_THROW((void)service.answer(PairQuery{.s = 0, .t = net.node_count()}),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.answer(PairQuery{.s = net.node_count(), .t = 0}),
+               std::invalid_argument);
+}
+
+TEST(PathService, FaultAwareAnswersMatchTheAdaptiveRouter) {
+  const HhcTopology net{2};
+  PathService service{net};
+  const fault::AdaptiveRouter router{net};
+  util::Xoshiro256 rng{404};
+  for (const auto& [s, t] : core::sample_pairs(net, 120, 21)) {
+    core::FaultModel::RandomSpec spec;
+    spec.node_faults = rng.below(net.m() + 2);
+    spec.external_link_faults = rng.below(2);
+    const auto faults = core::FaultModel::random(net, spec, s, t, rng);
+    const auto expected = router.route(s, t, faults);
+    const auto answer =
+        service.answer(PairQuery{.s = s, .t = t, .faults = &faults});
+    ASSERT_EQ(answer.level, expected.level);
+    EXPECT_EQ(answer.paths, expected.paths);
+    EXPECT_EQ(answer.container_paths_blocked,
+              expected.container_paths_blocked);
+    EXPECT_EQ(answer.used_fallback, expected.used_fallback);
+  }
+}
+
+TEST(PathService, BatchAnswersInInputOrder) {
+  const HhcTopology net{3};
+  PathService service{net, {.threads = 4}};
+  const auto pairs = core::sample_pairs(net, 200, 31);
+  std::vector<PairQuery> queries;
+  for (const auto& [s, t] : pairs) queries.push_back({.s = s, .t = t});
+  const auto results = service.answer(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto direct =
+        core::node_disjoint_paths(net, queries[i].s, queries[i].t);
+    EXPECT_EQ(results[i].paths, direct.paths) << "batch slot " << i;
+  }
+}
+
+TEST(PathService, BatchIsDeterministicForAnyThreadCount) {
+  const HhcTopology net{3};
+  const auto pairs = core::sample_pairs(net, 150, 47);
+  util::Xoshiro256 rng{48};
+  core::FaultModel::RandomSpec spec;
+  spec.node_faults = 2;
+  const auto faults =
+      core::FaultModel::random(net, spec, pairs[0].s, pairs[0].t, rng);
+  std::vector<PairQuery> queries;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    // Mix pristine and fault-aware queries in one batch.
+    queries.push_back(PairQuery{.s = pairs[i].s,
+                                .t = pairs[i].t,
+                                .faults = i % 3 == 0 ? &faults : nullptr});
+  }
+
+  PathService reference{net, {.threads = 1}};
+  const auto expected = reference.answer(queries);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    PathService service{net, {.threads = threads}};
+    const auto results = service.answer(queries);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].paths, expected[i].paths)
+          << "threads=" << threads << " slot " << i;
+      EXPECT_EQ(results[i].level, expected[i].level);
+      EXPECT_EQ(results[i].used_fallback, expected[i].used_fallback);
+    }
+  }
+}
+
+TEST(PathService, BatchErrorsSurfaceOnTheCallerThread) {
+  const HhcTopology net{2};
+  PathService service{net, {.threads = 2}};
+  const std::vector<PairQuery> queries{{.s = 0, .t = 5},
+                                       {.s = 0, .t = net.node_count()}};
+  EXPECT_THROW((void)service.answer(queries), std::invalid_argument);
+}
+
+TEST(PathService, StatsCountQueriesLevelsAndLatency) {
+  const HhcTopology net{2};
+  PathService service{net};
+  for (const auto& [s, t] : core::sample_pairs(net, 40, 3)) {
+    (void)service.answer(PairQuery{.s = s, .t = t});
+  }
+  core::FaultModel faults;
+  faults.fail_node(1);
+  (void)service.answer(PairQuery{.s = 0, .t = 60, .faults = &faults});
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.queries, 41u);
+  EXPECT_EQ(stats.pristine, 40u);
+  EXPECT_EQ(stats.fault_aware, 1u);
+  EXPECT_EQ(stats.guaranteed + stats.best_effort + stats.disconnected,
+            stats.queries);
+  EXPECT_EQ(stats.latency.count, stats.queries);
+  EXPECT_GT(stats.latency.max_micros, 0.0);
+  EXPECT_GE(stats.latency.percentile(0.99), stats.latency.percentile(0.50));
+  // Every non-self query performs one cache lookup: 40 pristine + 1 via the
+  // router's shared-cache container fetch.
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 41u);
+}
+
+TEST(PathService, StatsResetKeepsCacheContents) {
+  const HhcTopology net{2};
+  PathService service{net};
+  (void)service.answer(PairQuery{.s = 0, .t = 60});
+  service.reset_stats();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.latency.count, 0u);
+  EXPECT_EQ(stats.cache.entries, 1u);  // cache untouched by reset_stats
+}
+
+TEST(PathService, EmitsWellFormedCsvAndJson) {
+  const HhcTopology net{2};
+  PathService service{net, {.cache_shards = 4}};
+  for (const auto& [s, t] : core::sample_pairs(net, 25, 8)) {
+    (void)service.answer(PairQuery{.s = s, .t = t});
+  }
+  const auto stats = service.stats();
+
+  const auto csv = stats.to_csv();
+  EXPECT_NE(csv.find("scope,entries,hits,misses,evictions"), std::string::npos);
+  EXPECT_NE(csv.find("shard0"), std::string::npos);
+  EXPECT_NE(csv.find("total"), std::string::npos);
+  // Header + one row per shard + the total row.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            2 + stats.cache.shards.size());
+
+  const auto json = stats.to_json();  // JsonWriter throws on malformed output
+  EXPECT_NE(json.find("\"queries\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+}
+
+TEST(PathService, FaultAwareQueriesShareThePristineCache) {
+  // One service, same pair queried pristine then fault-aware: the router's
+  // container lookup must hit the entry the pristine query populated.
+  const HhcTopology net{2};
+  PathService service{net};
+  (void)service.answer(PairQuery{.s = 0, .t = 60});
+  EXPECT_EQ(service.cache().misses(), 1u);
+  core::FaultModel faults;
+  faults.fail_node(33);
+  const auto answer =
+      service.answer(PairQuery{.s = 0, .t = 60, .faults = &faults});
+  EXPECT_TRUE(answer.cache_hit);
+  EXPECT_EQ(service.cache().misses(), 1u);
+  EXPECT_EQ(service.cache().hits(), 1u);
+}
+
+}  // namespace
+}  // namespace hhc::query

@@ -1,0 +1,181 @@
+// Concurrency stress for the path-query engine: many threads hammering one
+// PathService (and one ContainerCache underneath) while every answer is
+// checked against the serial construction. Run under ThreadSanitizer in CI
+// (the dedicated tsan job builds exactly this subset); the assertions prove
+// bit-identity, TSan proves the absence of data races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/container_cache.hpp"
+#include "core/disjoint.hpp"
+#include "core/metrics.hpp"
+#include "query/path_service.hpp"
+#include "util/rng.hpp"
+
+namespace hhc::query {
+namespace {
+
+using core::HhcTopology;
+using core::Node;
+
+constexpr std::size_t kThreads = 8;
+
+TEST(QueryStress, ConcurrentPristineAnswersMatchSerial) {
+  const HhcTopology net{3};
+  // Few shards on purpose: more threads per shard, more lock contention,
+  // better race coverage.
+  PathService service{net, {.cache_shards = 4}};
+
+  // Zipf-skewed pair workload: heavy repetition of hot pairs maximizes
+  // concurrent hits on the same shard entries.
+  const auto pairs = core::sample_pairs(net, 64, 2024);
+  std::vector<core::DisjointPathSet> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) {
+    expected.push_back(core::node_disjoint_paths(net, s, t));
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      util::Xoshiro256 rng{1000 + id};
+      const util::ZipfianSampler zipf{pairs.size(), 0.9};
+      for (std::size_t i = 0; i < 300; ++i) {
+        const std::size_t k = zipf(rng);
+        const auto answer =
+            service.answer(PairQuery{.s = pairs[k].s, .t = pairs[k].t});
+        if (answer.paths != expected[k].paths ||
+            answer.level != DegradationLevel::kGuaranteed) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.queries, kThreads * 300);
+  EXPECT_EQ(stats.guaranteed, stats.queries);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.queries);
+  // The workload repeats 64 canonical pairs thousands of times: virtually
+  // everything after warmup must be a hit.
+  EXPECT_GT(stats.hit_rate(), 0.8);
+}
+
+TEST(QueryStress, ConcurrentMixedFaultAndPristineTraffic) {
+  const HhcTopology net{2};
+  PathService service{net, {.cache_shards = 2}};
+  const fault::AdaptiveRouter reference{net};
+
+  const auto pairs = core::sample_pairs(net, 32, 7);
+  // A fixed fault set shared by every thread (the FaultModel is read-only
+  // during routing — this is exactly the aliasing a real deployment does).
+  core::FaultModel faults;
+  faults.fail_node(net.encode(1, 1));
+  faults.fail_link(net.encode(0, 0), net.encode(0, 1));
+
+  std::vector<RouteResult> expected;
+  for (const auto& [s, t] : pairs) {
+    expected.push_back(reference.route(s, t, faults));
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      util::Xoshiro256 rng{55 + id};
+      for (std::size_t i = 0; i < 200; ++i) {
+        const std::size_t k = rng.below(pairs.size());
+        const bool pristine = rng.chance(0.5);
+        const auto answer =
+            service.answer(PairQuery{.s = pairs[k].s,
+                                     .t = pairs[k].t,
+                                     .faults = pristine ? nullptr : &faults});
+        const bool good =
+            pristine
+                ? answer.paths ==
+                      core::node_disjoint_paths(net, pairs[k].s, pairs[k].t)
+                          .paths
+                : answer.paths == expected[k].paths &&
+                      answer.level == expected[k].level;
+        if (!good) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(service.stats().queries, kThreads * 200);
+}
+
+TEST(QueryStress, ConcurrentCacheWithEvictionStaysCorrect) {
+  // Tiny capacity forces constant eviction -> constant re-construction and
+  // entry churn under every shard lock, the worst case for the relabel path.
+  const HhcTopology net{3};
+  core::ContainerCache cache{net, {.shards = 2, .max_entries_per_shard = 4}};
+  const auto pairs = core::sample_pairs(net, 48, 99);
+  std::vector<core::DisjointPathSet> expected;
+  for (const auto& [s, t] : pairs) {
+    expected.push_back(core::node_disjoint_paths(net, s, t));
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      util::Xoshiro256 rng{7000 + id};
+      for (std::size_t i = 0; i < 150; ++i) {
+        const std::size_t k = rng.below(pairs.size());
+        const auto set = cache.paths(pairs[k].s, pairs[k].t);
+        if (set.paths != expected[k].paths) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * 150);
+}
+
+TEST(QueryStress, ConcurrentBatchesOnOneService) {
+  // Multiple caller threads each issuing whole batches (the service's own
+  // pool fans each batch out further) — nested parallelism must neither
+  // race nor reorder results.
+  const HhcTopology net{2};
+  PathService service{net, {.threads = 2}};
+  const auto pairs = core::sample_pairs(net, 40, 5);
+  std::vector<PairQuery> queries;
+  for (const auto& [s, t] : pairs) queries.push_back({.s = s, .t = t});
+  std::vector<RouteResult> expected;
+  for (const auto& q : queries) {
+    expected.push_back(RouteResult{
+        .paths = core::node_disjoint_paths(net, q.s, q.t).paths,
+        .level = DegradationLevel::kGuaranteed});
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> callers;
+  for (std::size_t id = 0; id < 4; ++id) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        const auto results = service.answer(queries);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (results[i].paths != expected[i].paths) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : callers) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace hhc::query

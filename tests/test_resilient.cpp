@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "core/disjoint.hpp"
 #include "sim/resilient.hpp"
 
@@ -198,6 +200,41 @@ TEST(Resilient, DispersalFasterThanSerialUnderFaults) {
   ASSERT_TRUE(serial.delivered);
   ASSERT_TRUE(disp.delivered);
   EXPECT_LT(disp.completion_cycles, serial.completion_cycles);
+}
+
+TEST(Resilient, ServiceRoutedFlavorsMatchDirectOnes) {
+  // The PathService overloads must produce the exact same outcomes as the
+  // direct-construction ones (the service answers bit-identically), while
+  // repeated transfers turn into cache hits.
+  const HhcTopology net{2};
+  query::PathService service{net};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  FaultSet faults;
+  faults.mark_faulty(container.paths[0][1]);
+  core::FaultModel model;
+  model.fail_link(container.paths[1][0], container.paths[1][1],
+                  /*fail_time=*/0, /*repair_time=*/9);
+
+  const auto pairs = {
+      std::pair{serial_retry_transfer(net, s, t, faults),
+                serial_retry_transfer(service, s, t, faults)},
+      std::pair{dispersal_transfer(net, s, t, faults),
+                dispersal_transfer(service, s, t, faults)},
+      std::pair{flooding_transfer(net, s, t, faults),
+                flooding_transfer(service, s, t, faults)},
+      std::pair{backoff_retry_transfer(net, s, t, model),
+                backoff_retry_transfer(service, s, t, model)},
+  };
+  for (const auto& [direct, routed] : pairs) {
+    EXPECT_EQ(direct.delivered, routed.delivered);
+    EXPECT_EQ(direct.completion_cycles, routed.completion_cycles);
+    EXPECT_EQ(direct.attempts, routed.attempts);
+    EXPECT_EQ(direct.wasted_transmissions, routed.wasted_transmissions);
+  }
+  EXPECT_EQ(service.cache().misses(), 1u);  // one pair, four transfers
+  EXPECT_EQ(service.cache().hits(), 3u);
 }
 
 }  // namespace

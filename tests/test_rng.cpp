@@ -94,5 +94,64 @@ TEST(SplitMix, KnownSequenceIsStable) {
   EXPECT_NE(sm.next(), first);
 }
 
+TEST(Zipfian, StaysInRangeAndIsDeterministic) {
+  const ZipfianSampler zipf{10, 1.0};
+  EXPECT_EQ(zipf.size(), 10u);
+  Xoshiro256 a{23};
+  Xoshiro256 b{23};
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = zipf(a);
+    EXPECT_LT(r, 10u);
+    EXPECT_EQ(r, zipf(b));
+  }
+}
+
+TEST(Zipfian, ZeroSkewIsUniform) {
+  const ZipfianSampler zipf{8, 0.0};
+  Xoshiro256 rng{29};
+  std::vector<int> counts(8, 0);
+  constexpr int kTrials = 80000;
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kTrials / 8.0, kTrials * 0.01);
+  }
+}
+
+TEST(Zipfian, SkewConcentratesMassOnTheHead) {
+  // With skew 1 over n = 100, rank 0 carries 1/H(100) ~ 19% of the mass and
+  // the head ranks dominate; check monotone-ish head frequencies and that
+  // the top 10 ranks carry well over half the draws.
+  const ZipfianSampler zipf{100, 1.0};
+  Xoshiro256 rng{31};
+  std::vector<int> counts(100, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], kTrials / 8);
+  int head = 0;
+  for (std::size_t i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, kTrials / 2);
+}
+
+TEST(Zipfian, HigherSkewMeansHotterHead) {
+  Xoshiro256 mild_rng{37};
+  Xoshiro256 hot_rng{37};
+  const ZipfianSampler mild{50, 0.5};
+  const ZipfianSampler hot{50, 1.5};
+  int mild_zero = 0;
+  int hot_zero = 0;
+  for (int i = 0; i < 30000; ++i) {
+    if (mild(mild_rng) == 0) ++mild_zero;
+    if (hot(hot_rng) == 0) ++hot_zero;
+  }
+  EXPECT_GT(hot_zero, mild_zero);
+}
+
+TEST(Zipfian, SingleElementAlwaysDrawsRankZero) {
+  const ZipfianSampler zipf{1, 2.0};
+  Xoshiro256 rng{41};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
 }  // namespace
 }  // namespace hhc::util
