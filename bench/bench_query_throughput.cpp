@@ -8,12 +8,25 @@
 // contention on the shards, not construction cost, is the ceiling. The
 // acceptance target is >= 4x aggregate queries/s at 8 threads over 1 on the
 // hot (skew 0.99) workload — measurable only on a machine with >= 8 cores.
+//
+// The workers drive answer_view(), the zero-copy pristine fast path: a
+// cache hit hands back a borrowed ContainerHandle (one shared_ptr copy, no
+// node copying, no allocation), which is what a routing data plane would
+// consume. materialize() on the view reproduces answer()'s paths bit for
+// bit, so the throughput here is the handle path, not a different answer.
+//
+// `--smoke` shrinks the pool/total for a seconds-long CI run. Both modes
+// write machine-readable rows to BENCH_query.json; REPRODUCING.md describes
+// the baseline-comparison workflow.
 #include <atomic>
 #include <cstddef>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "query/path_service.hpp"
 #include "util/rng.hpp"
@@ -24,18 +37,28 @@ namespace {
 
 using namespace hhc;
 
-constexpr std::size_t kPairPool = 4096;
 // Fixed TOTAL work split across the callers: every row answers the same
 // number of queries and pays the same cold-cache miss cost, so the speedup
 // column isolates parallelism instead of miss-cost amortization.
-constexpr std::size_t kQueriesTotal = 160000;
+std::size_t g_pair_pool = 4096;
+std::size_t g_queries_total = 160000;
 
 struct RunResult {
   double seconds = 0.0;
   query::ServiceStats stats;
 };
 
-// `threads` independent callers, together issuing kQueriesTotal Zipfian
+struct SweepRow {
+  double skew = 0.0;
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// `threads` independent callers, together issuing g_queries_total Zipfian
 // draws from the shared pair pool against the one shared service.
 RunResult hammer(query::PathService& service,
                  const std::vector<core::PairSample>& pairs, double skew,
@@ -43,7 +66,7 @@ RunResult hammer(query::PathService& service,
   service.reset_stats();
   service.cache().clear();
   const util::ZipfianSampler zipf{pairs.size(), skew};
-  const std::size_t per_thread = kQueriesTotal / threads;
+  const std::size_t per_thread = g_queries_total / threads;
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -53,8 +76,11 @@ RunResult hammer(query::PathService& service,
       while (!go.load(std::memory_order_acquire)) {}
       for (std::size_t i = 0; i < per_thread; ++i) {
         const std::size_t k = zipf(rng);
-        (void)service.answer(
+        const auto view = service.answer_view(
             query::PairQuery{.s = pairs[k].s, .t = pairs[k].t});
+        // Touch the handle so the relabeling XOR isn't optimized away.
+        volatile core::Node sink = view.container.source();
+        (void)sink;
       }
     });
   }
@@ -69,7 +95,8 @@ RunResult hammer(query::PathService& service,
 
 void sweep(const core::HhcTopology& net,
            const std::vector<core::PairSample>& pairs, double skew,
-           const char* label) {
+           const char* label, std::size_t max_threads,
+           std::vector<SweepRow>& rows) {
   // Capacity (16 shards x 64 = 1024 entries) is deliberately smaller than
   // the 4096-pair pool: a Zipf-hot head stays resident while uniform
   // traffic thrashes, so the hit-rate column actually separates the
@@ -83,36 +110,80 @@ void sweep(const core::HhcTopology& net,
   util::Table table{{"threads", "seconds", "queries/s", "speedup", "hit %",
                      "p50 us", "p99 us"}};
   double base_qps = 0.0;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  for (std::size_t threads = 1; threads <= std::max(8u, hw); threads *= 2) {
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
     const auto run = hammer(service, pairs, skew, threads);
     const double qps = static_cast<double>(run.stats.queries) / run.seconds;
     if (threads == 1) base_qps = qps;
+    const SweepRow row{.skew = skew,
+                       .threads = threads,
+                       .seconds = run.seconds,
+                       .qps = qps,
+                       .hit_rate = run.stats.hit_rate(),
+                       .p50_us = run.stats.latency.percentile(0.50),
+                       .p99_us = run.stats.latency.percentile(0.99)};
+    rows.push_back(row);
     table.row()
         .add(static_cast<int>(threads))
-        .add(run.seconds, 3)
-        .add(qps, 0)
-        .add(qps / base_qps, 2)
-        .add(100.0 * run.stats.hit_rate(), 1)
-        .add(run.stats.latency.percentile(0.50), 1)
-        .add(run.stats.latency.percentile(0.99), 1);
+        .add(row.seconds, 3)
+        .add(row.qps, 0)
+        .add(row.qps / base_qps, 2)
+        .add(100.0 * row.hit_rate, 1)
+        .add(row.p50_us, 1)
+        .add(row.p99_us, 1);
   }
   table.print(std::cout, label);
   std::cout << '\n';
 }
 
+void emit_json(const std::vector<SweepRow>& rows, bool smoke) {
+  core::JsonWriter json;
+  json.begin_object()
+      .key("bench").value("query_throughput")
+      .key("mode").value(smoke ? "smoke" : "full")
+      .key("pair_pool").value(static_cast<std::uint64_t>(g_pair_pool))
+      .key("queries_total").value(static_cast<std::uint64_t>(g_queries_total))
+      .key("results").begin_array();
+  for (const SweepRow& row : rows) {
+    json.begin_object()
+        .key("skew").value(row.skew)
+        .key("threads").value(static_cast<std::uint64_t>(row.threads))
+        .key("seconds").value(row.seconds)
+        .key("queries_per_s").value(row.qps)
+        .key("hit_rate").value(row.hit_rate)
+        .key("p50_us").value(row.p50_us)
+        .key("p99_us").value(row.p99_us)
+        .end_object();
+  }
+  json.end_array().end_object();
+  std::ofstream out{"BENCH_query.json"};
+  out << json.str() << '\n';
+  std::cout << "wrote BENCH_query.json\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::size_t max_threads = std::max(8u, std::max(1u, std::thread::hardware_concurrency()));
+  if (smoke) {
+    g_pair_pool = 1024;
+    g_queries_total = 20000;
+    max_threads = 2;
+  }
+
   const core::HhcTopology net{4};
-  const auto pairs = core::sample_pairs(net, kPairPool, /*seed=*/0xF11);
-  std::cout << "F11: PathService aggregate throughput, m=4, " << kPairPool
-            << "-pair pool, " << kQueriesTotal
+  const auto pairs = core::sample_pairs(net, g_pair_pool, /*seed=*/0xF11);
+  std::cout << "F11: PathService aggregate throughput (answer_view), m=4, "
+            << g_pair_pool << "-pair pool, " << g_queries_total
             << " total queries split across callers, "
             << std::thread::hardware_concurrency() << " hardware threads\n\n";
 
-  sweep(net, pairs, 0.99, "hot workload (Zipf skew 0.99)");
-  sweep(net, pairs, 0.0, "cold workload (uniform, skew 0)");
+  std::vector<SweepRow> rows;
+  sweep(net, pairs, 0.99, "hot workload (Zipf skew 0.99)", max_threads, rows);
+  sweep(net, pairs, 0.0, "cold workload (uniform, skew 0)", max_threads, rows);
 
   std::cout
       << "Expected shape: the Zipf head stays resident in the capacity-bound\n"
@@ -121,7 +192,8 @@ int main() {
          "capacity and keeps paying construction, outside any lock).\n"
          "Aggregate queries/s scales with threads (target: >= 4x at 8\n"
          "threads on an >= 8-core machine; a single-core box reports\n"
-         "speedup ~1x by construction). Answers are bit-identical to serial\n"
-         "node_disjoint_paths at every thread count.\n";
+         "speedup ~1x by construction). Handle answers materialize to the\n"
+         "same bits as serial node_disjoint_paths at every thread count.\n";
+  emit_json(rows, smoke);
   return 0;
 }

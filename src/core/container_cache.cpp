@@ -1,5 +1,6 @@
 #include "core/container_cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <utility>
@@ -16,6 +17,30 @@ ContainerCache::ContainerCache(const HhcTopology& net, Config config)
   for (auto& shard : shards_) shard = std::make_unique<Shard>();
 }
 
+std::size_t ContainerHandle::max_length() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < path_count(); ++i) {
+    best = std::max(best, path_size(i) - 1);
+  }
+  return best;
+}
+
+Path ContainerHandle::materialize_path(std::size_t i) const {
+  Path path;
+  path.reserve(path_size(i));
+  for (std::size_t j = 0; j < path_size(i); ++j) path.push_back(node(i, j));
+  return path;
+}
+
+DisjointPathSet ContainerHandle::materialize() const {
+  DisjointPathSet set;
+  set.paths.reserve(path_count());
+  for (std::size_t i = 0; i < path_count(); ++i) {
+    set.paths.push_back(materialize_path(i));
+  }
+  return set;
+}
+
 DisjointPathSet ContainerCache::paths(Node s, Node t) {
   return paths(s, t, config_.options);
 }
@@ -23,6 +48,16 @@ DisjointPathSet ContainerCache::paths(Node s, Node t) {
 DisjointPathSet ContainerCache::paths(Node s, Node t,
                                       const ConstructionOptions& options,
                                       bool* cache_hit) {
+  return lookup(s, t, options, cache_hit).materialize();
+}
+
+ContainerHandle ContainerCache::lookup(Node s, Node t) {
+  return lookup(s, t, config_.options);
+}
+
+ContainerHandle ContainerCache::lookup(Node s, Node t,
+                                       const ConstructionOptions& options,
+                                       bool* cache_hit) {
   if (!net_.contains(s) || !net_.contains(t)) {
     throw std::invalid_argument("ContainerCache: node out of range");
   }
@@ -33,24 +68,9 @@ DisjointPathSet ContainerCache::paths(Node s, Node t,
                 net_.position_of(t), static_cast<std::uint8_t>(options.ordering),
                 static_cast<std::uint8_t>(options.selection)};
   Shard& shard = *shards_[KeyHash{}(key) & (shards_.size() - 1)];
-
-  // Relabels the canonical container by the source's cluster label; called
-  // with the shard lock held (entry references die with the critical
-  // section, so eviction by a concurrent insert can never dangle them).
-  const auto translate = [&](const DisjointPathSet& canonical) {
-    DisjointPathSet result;
-    result.paths.reserve(canonical.paths.size());
-    for (const Path& path : canonical.paths) {
-      Path copy;
-      copy.reserve(path.size());
-      for (const Node v : path) {
-        copy.push_back(
-            net_.encode(net_.cluster_of(v) ^ xs, net_.position_of(v)));
-      }
-      result.paths.push_back(std::move(copy));
-    }
-    return result;
-  };
+  // In the packed encoding, relabeling every node's cluster by xs is one
+  // XOR with (xs << m) — the handle applies it lazily.
+  const Node mask = xs << net_.m();
 
   {
     std::lock_guard lock{shard.mutex};
@@ -58,7 +78,7 @@ DisjointPathSet ContainerCache::paths(Node s, Node t,
     if (it != shard.map.end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
       if (cache_hit != nullptr) *cache_hit = true;
-      return translate(it->second);
+      return ContainerHandle{it->second, mask};
     }
   }
 
@@ -70,7 +90,18 @@ DisjointPathSet ContainerCache::paths(Node s, Node t,
   if (cache_hit != nullptr) *cache_hit = false;
   const Node cs = net_.encode(0, key.ys);
   const Node ct = net_.encode(key.xdiff, key.yt);
-  auto canonical = node_disjoint_paths(net_, cs, ct, options);
+  const DisjointPathSetRef canonical =
+      node_disjoint_paths(net_, cs, ct, options, tls_construction_scratch());
+  auto flat = std::make_shared<FlatContainer>();
+  flat->offsets.reserve(canonical.paths.size() + 1);
+  flat->offsets.push_back(0);
+  std::size_t total = 0;
+  for (const PathRef p : canonical.paths) total += p.size();
+  flat->nodes.reserve(total);
+  for (const PathRef p : canonical.paths) {
+    flat->nodes.insert(flat->nodes.end(), p.begin(), p.end());
+    flat->offsets.push_back(static_cast<std::uint32_t>(flat->nodes.size()));
+  }
 
   std::lock_guard lock{shard.mutex};
   if (config_.max_entries_per_shard > 0 &&
@@ -79,9 +110,9 @@ DisjointPathSet ContainerCache::paths(Node s, Node t,
     shard.map.erase(shard.map.begin());  // random replacement (see Config)
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  const auto [it, inserted] = shard.map.try_emplace(key, std::move(canonical));
+  const auto [it, inserted] = shard.map.try_emplace(key, std::move(flat));
   (void)inserted;
-  return translate(it->second);
+  return ContainerHandle{it->second, mask};
 }
 
 std::size_t ContainerCache::hits() const noexcept {

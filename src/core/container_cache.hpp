@@ -38,6 +38,62 @@
 
 namespace hhc::core {
 
+/// A disjoint-path container flattened into two arrays: `nodes` holds every
+/// path back to back, `offsets` (path_count + 1 entries) delimits them.
+/// Immutable once published; the cache shares one FlatContainer between the
+/// resident entry and every outstanding ContainerHandle.
+struct FlatContainer {
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> offsets;  // paths[i] = nodes[offsets[i], offsets[i+1])
+};
+
+/// A zero-copy view of a cached container, relabeled lazily.
+///
+/// The construction commutes with cluster translation, and in the packed
+/// node encoding (X << m | Y) that translation is a single XOR:
+///   encode(cluster_of(v) ^ Xs, position_of(v)) == v ^ (Xs << m).
+/// So a handle is just {shared FlatContainer, XOR mask}: a cache hit copies
+/// one shared_ptr (no allocation, no node copying) and node() applies the
+/// mask on the fly. The handle keeps its container alive even if the cache
+/// entry is evicted afterwards (shared ownership), so holding one is always
+/// safe. materialize() produces the same owning DisjointPathSet the legacy
+/// copying API returns, bit for bit.
+class ContainerHandle {
+ public:
+  ContainerHandle() = default;
+  ContainerHandle(std::shared_ptr<const FlatContainer> flat,
+                  Node xor_mask) noexcept
+      : flat_{std::move(flat)}, mask_{xor_mask} {}
+
+  [[nodiscard]] bool valid() const noexcept { return flat_ != nullptr; }
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return flat_ == nullptr ? 0 : flat_->offsets.size() - 1;
+  }
+  /// Number of nodes on path i (its length in edges + 1).
+  [[nodiscard]] std::size_t path_size(std::size_t i) const noexcept {
+    return flat_->offsets[i + 1] - flat_->offsets[i];
+  }
+  /// Node j of path i, relabeled into the handle's translation.
+  [[nodiscard]] Node node(std::size_t i, std::size_t j) const noexcept {
+    return flat_->nodes[flat_->offsets[i] + j] ^ mask_;
+  }
+  [[nodiscard]] Node source() const noexcept { return node(0, 0); }
+  [[nodiscard]] Node target() const noexcept {
+    return node(0, path_size(0) - 1);
+  }
+
+  /// Length (in edges) of the longest path.
+  [[nodiscard]] std::size_t max_length() const noexcept;
+  /// Deep copy of path i as an owning Path.
+  [[nodiscard]] Path materialize_path(std::size_t i) const;
+  /// Deep copy of the whole container as an owning DisjointPathSet.
+  [[nodiscard]] DisjointPathSet materialize() const;
+
+ private:
+  std::shared_ptr<const FlatContainer> flat_;
+  Node mask_ = 0;
+};
+
 /// Point-in-time counters for one shard of the cache.
 struct CacheShardStats {
   std::size_t entries = 0;
@@ -99,6 +155,15 @@ class ContainerCache {
                                       const ConstructionOptions& options,
                                       bool* cache_hit = nullptr);
 
+  /// Zero-copy lookup: the borrowed-view fast path. A hit performs no
+  /// construction, no node copying, and no heap allocation — it copies one
+  /// shared_ptr under the shard lock and XORs lazily through the handle.
+  /// paths() above is exactly lookup() + materialize().
+  [[nodiscard]] ContainerHandle lookup(Node s, Node t,
+                                       const ConstructionOptions& options,
+                                       bool* cache_hit = nullptr);
+  [[nodiscard]] ContainerHandle lookup(Node s, Node t);
+
   [[nodiscard]] std::size_t hits() const noexcept;
   [[nodiscard]] std::size_t misses() const noexcept;
   [[nodiscard]] std::size_t evictions() const noexcept;
@@ -137,7 +202,7 @@ class ContainerCache {
   };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<Key, DisjointPathSet, KeyHash> map;
+    std::unordered_map<Key, std::shared_ptr<const FlatContainer>, KeyHash> map;
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
     std::atomic<std::size_t> evictions{0};

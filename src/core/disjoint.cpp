@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "cube/hypercube.hpp"
 #include "graph/vertex_disjoint.hpp"
@@ -15,122 +14,158 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Route selection (cluster level)
+//
+// Selected routes live flattened in scratch.route_words with one
+// (begin, end) pair per route in scratch.route_spans — no per-route vector.
+// Rotations are written as dims[(r+j) % k]; detours as e, dims..., e.
 // ---------------------------------------------------------------------------
 
-// Builds the rotation of the Gray-ordered differing dimensions starting at
-// cyclic offset r.
-ClusterRoute rotation_route(const std::vector<unsigned>& dims, std::size_t r) {
-  ClusterRoute route;
-  route.reserve(dims.size());
-  for (std::size_t j = 0; j < dims.size(); ++j) {
-    route.push_back(dims[(r + j) % dims.size()]);
-  }
-  return route;
+std::span<const unsigned> route_at(const ConstructionScratch& scratch,
+                                   std::size_t i) {
+  const auto [begin, end] = scratch.route_spans[i];
+  return {scratch.route_words.data() + begin,
+          scratch.route_words.data() + end};
 }
 
-// Builds the detour route e, d_0, ..., d_(k-1), e for e outside D.
-ClusterRoute detour_route(const std::vector<unsigned>& dims, unsigned e) {
-  ClusterRoute route;
-  route.reserve(dims.size() + 2);
-  route.push_back(e);
-  route.insert(route.end(), dims.begin(), dims.end());
-  route.push_back(e);
-  return route;
+void push_rotation_route(ConstructionScratch& scratch, std::size_t r) {
+  const std::vector<unsigned>& dims = scratch.dims;
+  const std::size_t k = dims.size();
+  const auto begin = static_cast<std::uint32_t>(scratch.route_words.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    scratch.route_words.push_back(dims[(r + j) % k]);
+  }
+  scratch.route_spans.emplace_back(
+      begin, static_cast<std::uint32_t>(scratch.route_words.size()));
 }
 
-// Estimated realized length of a cluster route: endpoint walks, one
-// crossing per dimension, and the gateway-to-gateway walks in between.
-std::size_t estimate_route_length(const ClusterRoute& route, std::uint64_t Ys,
-                                  std::uint64_t Yt) {
-  std::size_t length = static_cast<std::size_t>(
-      bits::hamming(Ys, route.front()));
-  length += route.size();
-  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
-    length += static_cast<std::size_t>(bits::hamming(route[i], route[i + 1]));
+void push_detour_route(ConstructionScratch& scratch, unsigned e) {
+  const std::vector<unsigned>& dims = scratch.dims;
+  const auto begin = static_cast<std::uint32_t>(scratch.route_words.size());
+  scratch.route_words.push_back(e);
+  scratch.route_words.insert(scratch.route_words.end(), dims.begin(),
+                             dims.end());
+  scratch.route_words.push_back(e);
+  scratch.route_spans.emplace_back(
+      begin, static_cast<std::uint32_t>(scratch.route_words.size()));
+}
+
+// Estimated realized length of the rotation at offset r: endpoint walks,
+// one crossing per dimension, gateway-to-gateway walks in between. Computed
+// by index arithmetic — no route is materialized.
+std::size_t estimate_rotation(const std::vector<unsigned>& dims, std::size_t r,
+                              std::uint64_t Ys, std::uint64_t Yt) {
+  const std::size_t k = dims.size();
+  const auto at = [&](std::size_t j) { return dims[(r + j) % k]; };
+  std::size_t length = static_cast<std::size_t>(bits::hamming(Ys, at(0)));
+  length += k;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    length += static_cast<std::size_t>(bits::hamming(at(j), at(j + 1)));
   }
-  length += static_cast<std::size_t>(bits::hamming(route.back(), Yt));
+  length += static_cast<std::size_t>(bits::hamming(at(k - 1), Yt));
   return length;
 }
 
-std::vector<ClusterRoute> select_routes_different_clusters(
-    const HhcTopology& net, const std::vector<unsigned>& dims, unsigned a,
-    unsigned b, RouteSelectionPolicy policy, std::uint64_t Ys,
-    std::uint64_t Yt) {
+// Estimated realized length of the detour e, dims..., e.
+std::size_t estimate_detour(const std::vector<unsigned>& dims, unsigned e,
+                            std::uint64_t Ys, std::uint64_t Yt) {
+  const std::size_t k = dims.size();
+  std::size_t length = static_cast<std::size_t>(bits::hamming(Ys, e));
+  length += k + 2;
+  length += static_cast<std::size_t>(bits::hamming(e, dims.front()));
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    length += static_cast<std::size_t>(bits::hamming(dims[j], dims[j + 1]));
+  }
+  length += static_cast<std::size_t>(bits::hamming(dims.back(), e));
+  length += static_cast<std::size_t>(bits::hamming(e, Yt));
+  return length;
+}
+
+// Selects the m+1 cluster routes into scratch.route_words / route_spans.
+// Same selection (and tie-breaking) as the historical per-vector version.
+void select_routes_different_clusters(const HhcTopology& net,
+                                      ConstructionScratch& scratch, unsigned a,
+                                      unsigned b, RouteSelectionPolicy policy,
+                                      std::uint64_t Ys, std::uint64_t Yt) {
+  const std::vector<unsigned>& dims = scratch.dims;
   const std::size_t k = dims.size();
   const std::size_t wanted = net.degree();  // m + 1
 
-  std::unordered_map<unsigned, std::size_t> index_of;
-  for (std::size_t i = 0; i < k; ++i) index_of.emplace(dims[i], i);
-  const bool a_in_d = index_of.count(a) > 0;
-  const bool b_in_d = index_of.count(b) > 0;
+  // cluster_dimensions() = 2^m <= 32, so plain arrays and bitmasks replace
+  // the historical unordered_map / unordered_set bookkeeping.
+  std::array<std::int8_t, 32> index_of;
+  index_of.fill(-1);
+  for (std::size_t i = 0; i < k; ++i) {
+    index_of[dims[i]] = static_cast<std::int8_t>(i);
+  }
+  std::uint32_t rotation_used = 0;
+  std::uint32_t detour_used = 0;
 
-  std::vector<ClusterRoute> selected;
-  selected.reserve(wanted);
-  std::vector<bool> rotation_used(k, false);
-  std::unordered_set<unsigned> detour_used;
+  scratch.route_words.clear();
+  scratch.route_spans.clear();
 
   const auto push_rotation = [&](std::size_t r) {
-    rotation_used[r] = true;
-    selected.push_back(rotation_route(dims, r));
+    rotation_used |= std::uint32_t{1} << r;
+    push_rotation_route(scratch, r);
   };
   const auto push_detour = [&](unsigned e) {
-    detour_used.insert(e);
-    selected.push_back(detour_route(dims, e));
+    detour_used |= std::uint32_t{1} << e;
+    push_detour_route(scratch, e);
   };
 
   // Mandatory route leaving s over its external edge (first dimension = a).
-  if (a_in_d) {
-    push_rotation(index_of.at(a));
+  if (index_of[a] >= 0) {
+    push_rotation(static_cast<std::size_t>(index_of[a]));
   } else {
     push_detour(a);
   }
 
   // Mandatory route entering t over its external edge (last dimension = b).
-  if (b_in_d) {
+  if (index_of[b] >= 0) {
     // The rotation starting at the cyclic successor of b ends at b.
-    const std::size_t r_b = (index_of.at(b) + 1) % k;
-    if (!rotation_used[r_b]) push_rotation(r_b);
-  } else if (detour_used.count(b) == 0) {
+    const std::size_t r_b = (static_cast<std::size_t>(index_of[b]) + 1) % k;
+    if ((rotation_used & (std::uint32_t{1} << r_b)) == 0) push_rotation(r_b);
+  } else if ((detour_used & (std::uint32_t{1} << b)) == 0) {
     push_detour(b);
   }
 
   if (policy == RouteSelectionPolicy::kCanonical) {
     // Fill with remaining rotations, then detours over agreeing dimensions.
-    for (std::size_t r = 0; r < k && selected.size() < wanted; ++r) {
-      if (!rotation_used[r]) push_rotation(r);
+    for (std::size_t r = 0; r < k && scratch.route_spans.size() < wanted;
+         ++r) {
+      if ((rotation_used & (std::uint32_t{1} << r)) == 0) push_rotation(r);
     }
     for (unsigned e = 0;
-         e < net.cluster_dimensions() && selected.size() < wanted; ++e) {
-      if (index_of.count(e) > 0 || detour_used.count(e) > 0) continue;
+         e < net.cluster_dimensions() && scratch.route_spans.size() < wanted;
+         ++e) {
+      if (index_of[e] >= 0 || (detour_used & (std::uint32_t{1} << e)) != 0) {
+        continue;
+      }
       push_detour(e);
     }
   } else {
     // Balanced fill: rank every remaining candidate by its estimated
     // realized length and take the shortest. Disjointness is unaffected —
     // any subset with distinct firsts/lasts works — only lengths improve.
-    struct Candidate {
-      std::size_t estimate;
-      bool is_rotation;
-      std::size_t index;  // rotation offset or detour dimension
-    };
-    std::vector<Candidate> candidates;
+    auto& candidates = scratch.candidates;
+    candidates.clear();
     for (std::size_t r = 0; r < k; ++r) {
-      if (rotation_used[r]) continue;
-      candidates.push_back(
-          {estimate_route_length(rotation_route(dims, r), Ys, Yt), true, r});
+      if ((rotation_used & (std::uint32_t{1} << r)) != 0) continue;
+      candidates.push_back({estimate_rotation(dims, r, Ys, Yt), true, r});
     }
     for (unsigned e = 0; e < net.cluster_dimensions(); ++e) {
-      if (index_of.count(e) > 0 || detour_used.count(e) > 0) continue;
-      candidates.push_back(
-          {estimate_route_length(detour_route(dims, e), Ys, Yt), false, e});
+      if (index_of[e] >= 0 || (detour_used & (std::uint32_t{1} << e)) != 0) {
+        continue;
+      }
+      candidates.push_back({estimate_detour(dims, e, Ys, Yt), false, e});
     }
     std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& lhs, const Candidate& rhs) {
+              [](const ConstructionScratch::RouteCandidate& lhs,
+                 const ConstructionScratch::RouteCandidate& rhs) {
                 return std::tie(lhs.estimate, lhs.is_rotation, lhs.index) <
                        std::tie(rhs.estimate, rhs.is_rotation, rhs.index);
               });
-    for (const Candidate& c : candidates) {
-      if (selected.size() >= wanted) break;
+    for (const auto& c : candidates) {
+      if (scratch.route_spans.size() >= wanted) break;
       if (c.is_rotation) {
         push_rotation(c.index);
       } else {
@@ -139,46 +174,81 @@ std::vector<ClusterRoute> select_routes_different_clusters(
     }
   }
 
-  if (selected.size() != wanted) {
+  if (scratch.route_spans.size() != wanted) {
     throw std::logic_error("route selection produced the wrong count");
   }
-  return selected;
 }
 
 // ---------------------------------------------------------------------------
-// Realization helpers
+// Realization (into the scratch arena)
 // ---------------------------------------------------------------------------
 
-std::vector<std::uint64_t> to_positions(const graph::VertexPath& vp) {
-  return {vp.begin(), vp.end()};
+// Appends the intra-cluster walk from `from` to `to` (positions), skipping
+// `from` itself, in ascending-dimension order — the same correction order
+// as cube::Hypercube::shortest_path.
+void build_walk(const HhcTopology& net, std::uint64_t cluster,
+                std::uint64_t from, std::uint64_t to,
+                util::PathArena::Builder& builder) {
+  std::uint64_t diff = from ^ to;
+  std::uint64_t cur = from;
+  while (diff != 0) {
+    const unsigned i = bits::lowest_set(diff);
+    cur = bits::flip(cur, i);
+    diff = bits::clear(diff, i);
+    builder.push(net.encode(cluster, cur));
+  }
+}
+
+// realize_cluster_route, arena-backed: emits the exit walk (positions),
+// one crossing + private gateway walk per X-dimension, then the entry walk.
+// The walks come in as graph::Vertex spans straight from the fan solver.
+PathRef realize_route(const HhcTopology& net, std::uint64_t start_cluster,
+                      std::span<const graph::Vertex> exit_walk,
+                      std::span<const unsigned> xdims,
+                      std::span<const graph::Vertex> entry_walk,
+                      util::PathArena& arena) {
+  auto builder = arena.builder();
+  std::uint64_t cluster = start_cluster;
+  for (const graph::Vertex pos : exit_walk) {
+    builder.push(net.encode(cluster, pos));
+  }
+  for (std::size_t i = 0; i < xdims.size(); ++i) {
+    const unsigned d = xdims[i];
+    // Cross the external edge at gateway position d.
+    cluster ^= bits::pow2(d);
+    builder.push(net.encode(cluster, d));
+    if (i + 1 < xdims.size()) {
+      build_walk(net, cluster, d, xdims[i + 1], builder);
+    }
+  }
+  for (std::size_t i = 1; i < entry_walk.size(); ++i) {
+    builder.push(net.encode(cluster, entry_walk[i]));
+  }
+  return builder.finish();
 }
 
 // Same-cluster case: m disjoint paths inside the cluster (exact max flow on
 // Q_m) plus one detour through the three neighboring clusters reachable via
 // the endpoints' external dimensions.
-DisjointPathSet same_cluster_paths(const HhcTopology& net, Node s, Node t) {
+void same_cluster_paths(const HhcTopology& net, Node s, Node t,
+                        ConstructionScratch& scratch) {
   const unsigned m = net.m();
-  const cube::Hypercube qm{m};
   const std::uint64_t X = net.cluster_of(s);
   const auto Ys = static_cast<graph::Vertex>(net.position_of(s));
   const auto Yt = static_cast<graph::Vertex>(net.position_of(t));
   const unsigned a = net.gateway_dimension(s);
   const unsigned b = net.gateway_dimension(t);
 
-  DisjointPathSet result;
-  result.paths.reserve(net.degree());
-
   // m internally disjoint paths inside the cluster.
   const auto inner =
-      graph::max_vertex_disjoint_paths(qm.explicit_graph(), Ys, Yt, m);
+      scratch.exit_fan.max_disjoint_paths(scratch.cluster_graph(m), Ys, Yt, m);
   if (inner.size() != m) {
     throw std::logic_error("cluster connectivity below m");
   }
   for (const auto& vp : inner) {
-    Path path;
-    path.reserve(vp.size());
-    for (const graph::Vertex p : vp) path.push_back(net.encode(X, p));
-    result.paths.push_back(std::move(path));
+    auto builder = scratch.arena.builder();
+    for (const graph::Vertex p : vp) builder.push(net.encode(X, p));
+    scratch.refs.push_back(builder.finish());
   }
 
   // External detour: cross a, walk, cross b, walk, cross a, walk, cross b.
@@ -186,84 +256,72 @@ DisjointPathSet same_cluster_paths(const HhcTopology& net, Node s, Node t) {
   // crossing happens at the matching gateway position.
   const std::uint64_t Ea = bits::pow2(a);
   const std::uint64_t Eb = bits::pow2(b);
-  Path detour;
-  detour.push_back(s);
+  auto builder = scratch.arena.builder();
+  builder.push(s);
   std::uint64_t cluster = X ^ Ea;
-  detour.push_back(net.encode(cluster, Ys));
-  auto extend_walk = [&](std::uint64_t from, std::uint64_t to) {
-    const auto walk = qm.shortest_path(from, to);
-    for (std::size_t i = 1; i < walk.size(); ++i) {
-      detour.push_back(net.encode(cluster, walk[i]));
-    }
-  };
-  extend_walk(Ys, Yt);
+  builder.push(net.encode(cluster, Ys));
+  build_walk(net, cluster, Ys, Yt, builder);
   cluster ^= Eb;
-  detour.push_back(net.encode(cluster, Yt));
-  extend_walk(Yt, Ys);
+  builder.push(net.encode(cluster, Yt));
+  build_walk(net, cluster, Yt, Ys, builder);
   cluster ^= Ea;
-  detour.push_back(net.encode(cluster, Ys));
-  extend_walk(Ys, Yt);
+  builder.push(net.encode(cluster, Ys));
+  build_walk(net, cluster, Ys, Yt, builder);
   cluster ^= Eb;
-  detour.push_back(net.encode(cluster, Yt));  // == t
-  result.paths.push_back(std::move(detour));
-
-  return result;
+  builder.push(net.encode(cluster, Yt));  // == t
+  scratch.refs.push_back(builder.finish());
 }
 
-DisjointPathSet different_cluster_paths(const HhcTopology& net, Node s, Node t,
-                                        ConstructionOptions options) {
-  const unsigned m = net.m();
-  const cube::Hypercube qm{m};
-  const auto cluster_graph = qm.explicit_graph();
+void different_cluster_paths(const HhcTopology& net, Node s, Node t,
+                             ConstructionOptions options,
+                             ConstructionScratch& scratch) {
+  const graph::AdjacencyList& cluster_graph = scratch.cluster_graph(net.m());
   const std::uint64_t Xs = net.cluster_of(s);
   const auto Ys = static_cast<graph::Vertex>(net.position_of(s));
   const auto Yt = static_cast<graph::Vertex>(net.position_of(t));
   const unsigned a = net.gateway_dimension(s);
   const unsigned b = net.gateway_dimension(t);
 
-  const auto dims = differing_x_dimensions(net, s, t, options.ordering);
-  const auto routes = select_routes_different_clusters(
-      net, dims, a, b, options.selection, net.position_of(s),
-      net.position_of(t));
+  differing_x_dimensions_into(net, s, t, options.ordering, scratch.dims);
+  select_routes_different_clusters(net, scratch, a, b, options.selection,
+                                   net.position_of(s), net.position_of(t));
+  const std::size_t route_count = scratch.route_spans.size();
 
   // Exit fan inside cluster Xs: one disjoint walk per route that leaves s
   // through an internal edge (first dimension != a).
-  std::vector<graph::Vertex> exit_targets;
-  std::vector<graph::Vertex> entry_sources;
-  for (const auto& route : routes) {
+  scratch.exit_targets.clear();
+  scratch.entry_sources.clear();
+  for (std::size_t i = 0; i < route_count; ++i) {
+    const auto route = route_at(scratch, i);
     if (route.front() != a) {
-      exit_targets.push_back(static_cast<graph::Vertex>(route.front()));
+      scratch.exit_targets.push_back(static_cast<graph::Vertex>(route.front()));
     }
     if (route.back() != b) {
-      entry_sources.push_back(static_cast<graph::Vertex>(route.back()));
+      scratch.entry_sources.push_back(static_cast<graph::Vertex>(route.back()));
     }
   }
   const auto exit_fans =
-      graph::vertex_disjoint_fan(cluster_graph, Ys, exit_targets);
+      scratch.exit_fan.fan(cluster_graph, Ys, scratch.exit_targets);
   const auto entry_fans =
-      graph::vertex_disjoint_reverse_fan(cluster_graph, entry_sources, Yt);
+      scratch.entry_fan.reverse_fan(cluster_graph, scratch.entry_sources, Yt);
 
-  DisjointPathSet result;
-  result.paths.reserve(routes.size());
   std::size_t exit_index = 0;
   std::size_t entry_index = 0;
-  for (const auto& route : routes) {
-    std::vector<std::uint64_t> exit_walk;
-    if (route.front() == a) {
-      exit_walk = {net.position_of(s)};
-    } else {
-      exit_walk = to_positions(exit_fans[exit_index++]);
-    }
-    std::vector<std::uint64_t> entry_walk;
-    if (route.back() == b) {
-      entry_walk = {net.position_of(t)};
-    } else {
-      entry_walk = to_positions(entry_fans[entry_index++]);
-    }
-    result.paths.push_back(
-        realize_cluster_route(net, Xs, exit_walk, route, entry_walk));
+  for (std::size_t i = 0; i < route_count; ++i) {
+    const auto route = route_at(scratch, i);
+    const graph::Vertex trivial_exit[1] = {Ys};
+    const graph::Vertex trivial_entry[1] = {Yt};
+    const std::span<const graph::Vertex> exit_walk =
+        route.front() == a ? std::span<const graph::Vertex>{trivial_exit}
+                           : std::span<const graph::Vertex>{
+                                 exit_fans[exit_index++]};
+    const std::span<const graph::Vertex> entry_walk =
+        route.back() == b ? std::span<const graph::Vertex>{trivial_entry}
+                          : std::span<const graph::Vertex>{
+                                entry_fans[entry_index++]};
+    scratch.refs.push_back(
+        realize_route(net, Xs, exit_walk, route, entry_walk, scratch.arena));
   }
-  return result;
 }
 
 }  // namespace
@@ -287,28 +345,75 @@ double DisjointPathSet::average_length() const noexcept {
   return static_cast<double>(total) / static_cast<double>(paths.size());
 }
 
+std::size_t DisjointPathSetRef::max_length() const noexcept {
+  std::size_t best = 0;
+  for (const PathRef p : paths) best = std::max(best, p.size() - 1);
+  return best;
+}
+
+std::size_t DisjointPathSetRef::min_length() const noexcept {
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (const PathRef p : paths) best = std::min(best, p.size() - 1);
+  return paths.empty() ? 0 : best;
+}
+
+double DisjointPathSetRef::average_length() const noexcept {
+  if (paths.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const PathRef p : paths) total += p.size() - 1;
+  return static_cast<double>(total) / static_cast<double>(paths.size());
+}
+
+DisjointPathSet DisjointPathSetRef::materialize() const {
+  DisjointPathSet set;
+  set.paths.reserve(paths.size());
+  for (const PathRef p : paths) set.paths.emplace_back(p.begin(), p.end());
+  return set;
+}
+
 std::vector<ClusterRoute> select_cluster_routes(const HhcTopology& net, Node s,
                                                 Node t) {
   if (!net.contains(s) || !net.contains(t)) {
     throw std::invalid_argument("select_cluster_routes: node out of range");
   }
   if (net.cluster_of(s) == net.cluster_of(t)) return {};
-  const auto dims = differing_x_dimensions_gray_ordered(net, s, t);
-  return select_routes_different_clusters(
-      net, dims, net.gateway_dimension(s), net.gateway_dimension(t),
+  ConstructionScratch& scratch = tls_construction_scratch();
+  differing_x_dimensions_into(net, s, t, DimensionOrdering::kGrayCycle,
+                              scratch.dims);
+  select_routes_different_clusters(
+      net, scratch, net.gateway_dimension(s), net.gateway_dimension(t),
       RouteSelectionPolicy::kCanonical, net.position_of(s),
       net.position_of(t));
+  std::vector<ClusterRoute> routes;
+  routes.reserve(scratch.route_spans.size());
+  for (std::size_t i = 0; i < scratch.route_spans.size(); ++i) {
+    const auto route = route_at(scratch, i);
+    routes.emplace_back(route.begin(), route.end());
+  }
+  return routes;
 }
 
-DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
-                                    ConstructionOptions options) {
+DisjointPathSetRef node_disjoint_paths(const HhcTopology& net, Node s, Node t,
+                                       ConstructionOptions options,
+                                       ConstructionScratch& scratch) {
   if (!net.contains(s) || !net.contains(t)) {
     throw std::invalid_argument("node_disjoint_paths: node out of range");
   }
   if (s == t) throw std::invalid_argument("node_disjoint_paths: s == t");
-  return net.cluster_of(s) == net.cluster_of(t)
-             ? same_cluster_paths(net, s, t)
-             : different_cluster_paths(net, s, t, options);
+  scratch.arena.reset();
+  scratch.refs.clear();
+  if (net.cluster_of(s) == net.cluster_of(t)) {
+    same_cluster_paths(net, s, t, scratch);
+  } else {
+    different_cluster_paths(net, s, t, options, scratch);
+  }
+  return DisjointPathSetRef{scratch.refs};
+}
+
+DisjointPathSet node_disjoint_paths(const HhcTopology& net, Node s, Node t,
+                                    ConstructionOptions options) {
+  return node_disjoint_paths(net, s, t, options, tls_construction_scratch())
+      .materialize();
 }
 
 bool verify_disjoint_path_set(const HhcTopology& net,

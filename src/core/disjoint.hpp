@@ -28,10 +28,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/routing.hpp"
+#include "core/scratch.hpp"
 #include "core/topology.hpp"
 
 namespace hhc::core {
@@ -45,6 +47,18 @@ struct DisjointPathSet {
   [[nodiscard]] std::size_t max_length() const noexcept;
   [[nodiscard]] std::size_t min_length() const noexcept;
   [[nodiscard]] double average_length() const noexcept;
+};
+
+/// A borrowed view of a disjoint-path system: spans into scratch-owned
+/// storage, valid until the next query on (or destruction of) the scratch
+/// that produced it. materialize() deep-copies into an owning set.
+struct DisjointPathSetRef {
+  std::span<const PathRef> paths;
+
+  [[nodiscard]] std::size_t max_length() const noexcept;
+  [[nodiscard]] std::size_t min_length() const noexcept;
+  [[nodiscard]] double average_length() const noexcept;
+  [[nodiscard]] DisjointPathSet materialize() const;
 };
 
 /// How the non-mandatory cluster routes are chosen. kCanonical keeps the
@@ -75,6 +89,16 @@ struct ConstructionOptions {
 /// a 2^m-node cluster, a constant for fixed m).
 [[nodiscard]] DisjointPathSet node_disjoint_paths(
     const HhcTopology& net, Node s, Node t, ConstructionOptions options = {});
+
+/// Allocation-free variant: builds the identical m+1 paths (bit-for-bit —
+/// asserted by the differential suite) into `scratch`, returning borrowed
+/// spans. Resets the scratch arena, so at most one live result per scratch;
+/// with a warm scratch the steady state performs zero heap allocations.
+/// The copying overload above is exactly this on the thread-local scratch
+/// followed by materialize().
+[[nodiscard]] DisjointPathSetRef node_disjoint_paths(
+    const HhcTopology& net, Node s, Node t, ConstructionOptions options,
+    ConstructionScratch& scratch);
 
 /// The cluster-level routes (X-dimension sequences) the construction picks;
 /// exposed for tests, ablations, and the routing-structure example.

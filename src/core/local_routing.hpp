@@ -14,6 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/fault_routing.hpp"
 #include "core/topology.hpp"
@@ -25,6 +28,52 @@ struct LocalRouteResult {
   std::size_t backtracks = 0; // hops undone by dead ends
   std::size_t steps = 0;      // total node expansions
   [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
+};
+
+/// Borrowed result of the scratch-backed router: `path` points into the
+/// scratch and stays valid until its next use.
+struct LocalRouteView {
+  std::span<const Node> path;  // empty on failure
+  std::size_t backtracks = 0;
+  std::size_t steps = 0;
+  [[nodiscard]] bool ok() const noexcept { return !path.empty(); }
+};
+
+/// Reusable DFS state for local_fault_route: the frame stack and untried
+/// neighbors live in flat vectors (one allocation amortized over all
+/// queries), and the visited set is an open-addressing table whose entries
+/// are invalidated wholesale by a generation bump — no per-query clearing,
+/// no per-node rehash. Warm scratch => zero heap allocations per route.
+class LocalRouteScratch {
+ public:
+  LocalRouteScratch() = default;
+  LocalRouteScratch(const LocalRouteScratch&) = delete;
+  LocalRouteScratch& operator=(const LocalRouteScratch&) = delete;
+
+ private:
+  friend LocalRouteView local_fault_route(const HhcTopology&, Node, Node,
+                                          const FaultSet&, std::size_t,
+                                          LocalRouteScratch&);
+
+  struct Frame {
+    Node node;
+    std::uint32_t begin;  // untried neighbors live in untried_[begin, end)
+    std::uint32_t end;    // sorted best-last; consumed by decrementing end
+  };
+
+  // Generation-stamped open-addressing visited set (linear probing).
+  void visited_clear();
+  [[nodiscard]] bool visited_contains(Node v) const noexcept;
+  void visited_insert(Node v);
+  void visited_grow();
+
+  std::vector<Frame> frames_;
+  std::vector<Node> untried_;
+  std::vector<Node> path_;
+  std::vector<Node> visited_keys_;
+  std::vector<std::uint32_t> visited_stamp_;
+  std::uint32_t visited_gen_ = 0;
+  std::size_t visited_count_ = 0;
 };
 
 /// Lower-bound distance heuristic used by the greedy order:
@@ -41,5 +90,13 @@ struct LocalRouteResult {
                                                  Node s, Node t,
                                                  const FaultSet& faults,
                                                  std::size_t max_steps = 0);
+
+/// Allocation-free variant: identical walk (same expansion order, same
+/// step/backtrack counts, same path) built in `scratch`. The copying
+/// overload above is exactly this on a thread-local scratch plus one copy.
+[[nodiscard]] LocalRouteView local_fault_route(const HhcTopology& net, Node s,
+                                               Node t, const FaultSet& faults,
+                                               std::size_t max_steps,
+                                               LocalRouteScratch& scratch);
 
 }  // namespace hhc::core

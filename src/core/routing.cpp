@@ -1,6 +1,7 @@
 #include "core/routing.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
@@ -72,20 +73,27 @@ Path realize_cluster_route(const HhcTopology& net, std::uint64_t start_cluster,
   return path;
 }
 
+void differing_x_dimensions_into(const HhcTopology& net, Node s, Node t,
+                                 DimensionOrdering ordering,
+                                 std::vector<unsigned>& out) {
+  out.clear();
+  const std::uint64_t xdiff = net.cluster_of(s) ^ net.cluster_of(t);
+  for (unsigned d = 0; d < net.cluster_dimensions(); ++d) {
+    if (bits::test(xdiff, d)) out.push_back(d);
+  }
+  if (ordering == DimensionOrdering::kGrayCycle) {
+    // Same comparator as cube::order_along_gray_cycle.
+    std::sort(out.begin(), out.end(), [](unsigned a, unsigned b) {
+      return cube::gray_rank(a) < cube::gray_rank(b);
+    });
+  }  // kAscending: the scan above already produced ascending order.
+}
+
 std::vector<unsigned> differing_x_dimensions(const HhcTopology& net, Node s,
                                              Node t,
                                              DimensionOrdering ordering) {
-  const std::uint64_t xdiff = net.cluster_of(s) ^ net.cluster_of(t);
-  std::vector<std::uint64_t> dims;
-  for (unsigned d = 0; d < net.cluster_dimensions(); ++d) {
-    if (bits::test(xdiff, d)) dims.push_back(d);
-  }
-  if (ordering == DimensionOrdering::kGrayCycle) {
-    dims = cube::order_along_gray_cycle(std::move(dims));
-  }  // kAscending: the scan above already produced ascending order.
   std::vector<unsigned> result;
-  result.reserve(dims.size());
-  for (const std::uint64_t d : dims) result.push_back(static_cast<unsigned>(d));
+  differing_x_dimensions_into(net, s, t, ordering, result);
   return result;
 }
 
@@ -96,45 +104,70 @@ std::vector<unsigned> differing_x_dimensions_gray_ordered(
 
 namespace {
 
-// The cheapest rotation (either direction) of the Gray-ordered differing
-// dimensions, with its realized length: endpoint walks + one crossing per
-// dimension + gateway-to-gateway walks.
-struct BestSequence {
-  std::vector<unsigned> dims;
-  std::size_t cost = 0;
+// Gray-ordered differing dimensions on the stack (cluster_dimensions() is
+// 2^m <= 32), so the rotation search below never touches the heap — this is
+// the hot heuristic of the local-knowledge router.
+struct GrayDims {
+  std::array<unsigned, 32> dims{};
+  std::size_t k = 0;
 };
 
-BestSequence best_cluster_sequence(const HhcTopology& net, Node s, Node t) {
-  const std::uint64_t Ys = net.position_of(s);
-  const std::uint64_t Yt = net.position_of(t);
-  const auto gray_dims = differing_x_dimensions_gray_ordered(net, s, t);
-  const std::size_t k = gray_dims.size();
+GrayDims gray_dims_of(const HhcTopology& net, Node s, Node t) {
+  GrayDims gd;
+  const std::uint64_t xdiff = net.cluster_of(s) ^ net.cluster_of(t);
+  for (unsigned d = 0; d < net.cluster_dimensions(); ++d) {
+    if (bits::test(xdiff, d)) gd.dims[gd.k++] = d;
+  }
+  std::sort(gd.dims.begin(), gd.dims.begin() + static_cast<std::ptrdiff_t>(gd.k),
+            [](unsigned a, unsigned b) {
+              return cube::gray_rank(a) < cube::gray_rank(b);
+            });
+  return gd;
+}
 
-  const auto cost_of = [&](const std::vector<unsigned>& seq) {
-    std::size_t cost =
-        static_cast<std::size_t>(bits::hamming(Ys, seq.front()));
-    cost += seq.size();  // one external crossing per dimension
-    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
-      cost += static_cast<std::size_t>(bits::hamming(seq[i], seq[i + 1]));
-    }
-    cost += static_cast<std::size_t>(bits::hamming(seq.back(), Yt));
-    return cost;
-  };
+// Element j of rotation (r, dir) of the Gray cycle, by index arithmetic.
+unsigned rotation_at(const GrayDims& gd, std::size_t r, int dir,
+                     std::size_t j) {
+  const std::size_t idx =
+      dir == 0 ? (r + j) % gd.k : (r + gd.k - j) % gd.k;
+  return gd.dims[idx];
+}
 
-  BestSequence best;
-  best.cost = std::numeric_limits<std::size_t>::max();
+// Realized length of rotation (r, dir): endpoint walks + one crossing per
+// dimension + gateway-to-gateway walks.
+std::size_t rotation_cost(const GrayDims& gd, std::size_t r, int dir,
+                          std::uint64_t Ys, std::uint64_t Yt) {
+  std::size_t cost =
+      static_cast<std::size_t>(bits::hamming(Ys, rotation_at(gd, r, dir, 0)));
+  cost += gd.k;
+  for (std::size_t j = 0; j + 1 < gd.k; ++j) {
+    cost += static_cast<std::size_t>(
+        bits::hamming(rotation_at(gd, r, dir, j), rotation_at(gd, r, dir, j + 1)));
+  }
+  cost += static_cast<std::size_t>(
+      bits::hamming(rotation_at(gd, r, dir, gd.k - 1), Yt));
+  return cost;
+}
+
+// The cheapest rotation (either direction) of the Gray-ordered differing
+// dimensions. Same scan order (dir major, offset minor, strict improvement)
+// as the historical vector-based search, so ties resolve identically.
+struct BestRotation {
+  std::size_t r = 0;
+  int dir = 0;
+  std::size_t cost = std::numeric_limits<std::size_t>::max();
+};
+
+BestRotation best_cluster_rotation(const GrayDims& gd, std::uint64_t Ys,
+                                   std::uint64_t Yt) {
+  BestRotation best;
   for (int dir = 0; dir < 2; ++dir) {
-    for (std::size_t r = 0; r < k; ++r) {
-      std::vector<unsigned> seq;
-      seq.reserve(k);
-      for (std::size_t j = 0; j < k; ++j) {
-        const std::size_t idx = dir == 0 ? (r + j) % k : (r + k - j) % k;
-        seq.push_back(gray_dims[idx]);
-      }
-      const std::size_t cost = cost_of(seq);
+    for (std::size_t r = 0; r < gd.k; ++r) {
+      const std::size_t cost = rotation_cost(gd, r, dir, Ys, Yt);
       if (cost < best.cost) {
         best.cost = cost;
-        best.dims = std::move(seq);
+        best.r = r;
+        best.dir = dir;
       }
     }
   }
@@ -160,10 +193,16 @@ Path route(const HhcTopology& net, Node s, Node t) {
     return path;
   }
 
-  const auto best = best_cluster_sequence(net, s, t);
-  const auto exit_walk = qm.shortest_path(Ys, best.dims.front());
-  const auto entry_walk = qm.shortest_path(best.dims.back(), Yt);
-  return realize_cluster_route(net, net.cluster_of(s), exit_walk, best.dims,
+  const GrayDims gd = gray_dims_of(net, s, t);
+  const BestRotation best = best_cluster_rotation(gd, Ys, Yt);
+  std::vector<unsigned> seq;
+  seq.reserve(gd.k);
+  for (std::size_t j = 0; j < gd.k; ++j) {
+    seq.push_back(rotation_at(gd, best.r, best.dir, j));
+  }
+  const auto exit_walk = qm.shortest_path(Ys, seq.front());
+  const auto entry_walk = qm.shortest_path(seq.back(), Yt);
+  return realize_cluster_route(net, net.cluster_of(s), exit_walk, seq,
                                entry_walk);
 }
 
@@ -176,7 +215,9 @@ std::size_t route_length(const HhcTopology& net, Node s, Node t) {
     return static_cast<std::size_t>(
         bits::hamming(net.position_of(s), net.position_of(t)));
   }
-  return best_cluster_sequence(net, s, t).cost;
+  const GrayDims gd = gray_dims_of(net, s, t);
+  return best_cluster_rotation(gd, net.position_of(s), net.position_of(t))
+      .cost;
 }
 
 bool is_valid_path(const HhcTopology& net, const Path& path, Node s, Node t) {

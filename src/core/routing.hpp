@@ -59,6 +59,14 @@ enum class DimensionOrdering {
     const HhcTopology& net, Node s, Node t,
     DimensionOrdering ordering = DimensionOrdering::kGrayCycle);
 
+/// Allocation-free variant: fills `out` (cleared first) instead of
+/// returning a fresh vector. Produces the identical sequence. The hot
+/// construction path calls this with a scratch vector that keeps its
+/// capacity across queries.
+void differing_x_dimensions_into(const HhcTopology& net, Node s, Node t,
+                                 DimensionOrdering ordering,
+                                 std::vector<unsigned>& out);
+
 /// Backwards-compatible alias for the Gray ordering.
 [[nodiscard]] std::vector<unsigned> differing_x_dimensions_gray_ordered(
     const HhcTopology& net, Node s, Node t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -15,15 +16,60 @@ using core::Path;
 
 namespace {
 
-// Every hop of `path` traversable at `time`: interior nodes healthy and
+// Views a container generically: `view.path_count()`, `view.path_size(i)`,
+// `view.node(i, j)`. Implemented by core::ContainerHandle (cached, lazily
+// relabeled) and by RefSetView below (scratch-built) so survivability is
+// checked WITHOUT materializing any path — only the chosen one is copied.
+struct RefSetView {
+  std::span<const core::PathRef> paths;
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return paths.size();
+  }
+  [[nodiscard]] std::size_t path_size(std::size_t i) const noexcept {
+    return paths[i].size();
+  }
+  [[nodiscard]] Node node(std::size_t i, std::size_t j) const noexcept {
+    return paths[i][j];
+  }
+};
+
+// Every hop of path i traversable at `time`: interior nodes healthy and
 // every edge (including its link) usable. Endpoint health is checked by
 // the caller once, not per path.
-bool path_survives(const Path& path, const FaultModel& faults,
+template <typename View>
+bool path_survives(const View& view, std::size_t i, const FaultModel& faults,
                    std::uint64_t time) {
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    if (!faults.edge_usable_at(path[i], path[i + 1], time)) return false;
+  for (std::size_t j = 0; j + 1 < view.path_size(i); ++j) {
+    if (!faults.edge_usable_at(view.node(i, j), view.node(i, j + 1), time)) {
+      return false;
+    }
   }
   return true;
+}
+
+// Scans the container for surviving paths; keeps the first strictly
+// shortest survivor (same selection as the historical Path* scan) and
+// materializes only that one.
+template <typename View>
+void select_survivor(const View& view, const FaultModel& faults,
+                     std::uint64_t time, query::RouteResult& result) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t best = kNone;
+  for (std::size_t i = 0; i < view.path_count(); ++i) {
+    if (!path_survives(view, i, faults, time)) {
+      ++result.container_paths_blocked;
+      continue;
+    }
+    if (best == kNone || view.path_size(i) < view.path_size(best)) best = i;
+  }
+  if (best == kNone) return;
+  Path path;
+  path.reserve(view.path_size(best));
+  for (std::size_t j = 0; j < view.path_size(best); ++j) {
+    path.push_back(view.node(best, j));
+  }
+  result.paths.push_back(std::move(path));
+  result.level = query::DegradationLevel::kGuaranteed;
 }
 
 // BFS over the implicit topology restricted to usable edges; empty when t
@@ -71,23 +117,16 @@ query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
     return result;
   }
 
-  const auto container =
-      cache_ != nullptr
-          ? cache_->paths(s, t, query.options, &result.cache_hit)
-          : core::node_disjoint_paths(net_, s, t, query.options);
-  const Path* best = nullptr;
-  for (const Path& path : container.paths) {
-    if (!path_survives(path, faults, query.time)) {
-      ++result.container_paths_blocked;
-      continue;
-    }
-    if (best == nullptr || path.size() < best->size()) best = &path;
+  if (cache_ != nullptr) {
+    const core::ContainerHandle handle =
+        cache_->lookup(s, t, query.options, &result.cache_hit);
+    select_survivor(handle, faults, query.time, result);
+  } else {
+    const core::DisjointPathSetRef container = core::node_disjoint_paths(
+        net_, s, t, query.options, core::tls_construction_scratch());
+    select_survivor(RefSetView{container.paths}, faults, query.time, result);
   }
-  if (best != nullptr) {
-    result.paths = {*best};
-    result.level = DegradationLevel::kGuaranteed;
-    return result;
-  }
+  if (!result.paths.empty()) return result;
 
   result.used_fallback = true;
   Path detour = survivor_bfs(net_, s, t, faults, query.time);

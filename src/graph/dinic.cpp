@@ -2,16 +2,27 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace hhc::graph {
 
-Dinic::Dinic(std::size_t node_count) : graph_(node_count) {}
+Dinic::Dinic(std::size_t node_count)
+    : nodes_{node_count}, graph_(node_count) {}
+
+void Dinic::reset(std::size_t node_count) {
+  // Never shrink the outer table: destroying an inner vector would free the
+  // edge capacity a later, larger problem wants back.
+  if (node_count > graph_.size()) graph_.resize(node_count);
+  for (std::size_t v = 0; v < std::max(nodes_, node_count); ++v) {
+    graph_[v].clear();
+  }
+  nodes_ = node_count;
+  edge_handles_.clear();
+}
 
 std::size_t Dinic::add_edge(std::uint32_t u, std::uint32_t v,
                             std::int64_t capacity) {
-  if (u >= graph_.size() || v >= graph_.size()) {
+  if (u >= nodes_ || v >= nodes_) {
     throw std::invalid_argument("Dinic::add_edge: node out of range");
   }
   if (capacity < 0) throw std::invalid_argument("Dinic::add_edge: negative cap");
@@ -22,17 +33,16 @@ std::size_t Dinic::add_edge(std::uint32_t u, std::uint32_t v,
 }
 
 bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
-  level_.assign(graph_.size(), -1);
-  std::queue<std::uint32_t> frontier;
+  level_.assign(nodes_, -1);
+  frontier_.clear();
   level_[s] = 0;
-  frontier.push(s);
-  while (!frontier.empty()) {
-    const std::uint32_t v = frontier.front();
-    frontier.pop();
+  frontier_.push_back(s);
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    const std::uint32_t v = frontier_[head];
     for (const Edge& e : graph_[v]) {
       if (e.capacity > 0 && level_[e.to] < 0) {
         level_[e.to] = level_[v] + 1;
-        frontier.push(e.to);
+        frontier_.push_back(e.to);
       }
     }
   }
@@ -57,14 +67,14 @@ std::int64_t Dinic::augment(std::uint32_t v, std::uint32_t t,
 }
 
 std::int64_t Dinic::max_flow(std::uint32_t s, std::uint32_t t) {
-  if (s >= graph_.size() || t >= graph_.size()) {
+  if (s >= nodes_ || t >= nodes_) {
     throw std::invalid_argument("Dinic::max_flow: node out of range");
   }
   if (s == t) throw std::invalid_argument("Dinic::max_flow: s == t");
   std::int64_t total = 0;
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
   while (build_levels(s, t)) {
-    next_arc_.assign(graph_.size(), 0);
+    next_arc_.assign(nodes_, 0);
     while (const std::int64_t pushed = augment(s, t, kInf)) total += pushed;
   }
   return total;

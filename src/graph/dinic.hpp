@@ -15,14 +15,22 @@ class Dinic {
  public:
   explicit Dinic(std::size_t node_count);
 
+  /// Drops all edges and re-dimensions the network to `node_count` nodes,
+  /// REUSING the adjacency storage of previous runs (per-node edge vectors
+  /// keep their capacity, and the node table never shrinks). A warm Dinic
+  /// cycled through same-shaped problems performs no heap allocations —
+  /// this is what lets the construction hot path run allocation-free.
+  void reset(std::size_t node_count);
+
   /// Adds a directed edge u -> v with the given capacity.
   /// Returns the edge index (usable with flow_on() after max_flow()).
   std::size_t add_edge(std::uint32_t u, std::uint32_t v, std::int64_t capacity);
 
-  /// Computes the maximum s -> t flow. May be called once per instance.
+  /// Computes the maximum s -> t flow. May be called once per problem
+  /// (i.e. once after construction or each reset()).
   std::int64_t max_flow(std::uint32_t s, std::uint32_t t);
 
-  [[nodiscard]] std::size_t node_count() const noexcept { return graph_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
 
   /// Flow pushed through the edge returned by add_edge().
   [[nodiscard]] std::int64_t flow_on(std::size_t edge_index) const;
@@ -49,10 +57,12 @@ class Dinic {
   bool build_levels(std::uint32_t s, std::uint32_t t);
   std::int64_t augment(std::uint32_t v, std::uint32_t t, std::int64_t limit);
 
-  std::vector<std::vector<Edge>> graph_;
+  std::size_t nodes_ = 0;                 // logical node count
+  std::vector<std::vector<Edge>> graph_;  // size >= nodes_; extras stay warm
   std::vector<std::pair<std::uint32_t, std::size_t>> edge_handles_;
   std::vector<std::int32_t> level_;
   std::vector<std::size_t> next_arc_;
+  std::vector<std::uint32_t> frontier_;   // reusable BFS queue
 };
 
 }  // namespace hhc::graph

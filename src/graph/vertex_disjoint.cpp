@@ -1,11 +1,7 @@
 #include "graph/vertex_disjoint.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <stdexcept>
-#include <unordered_map>
-
-#include "graph/dinic.hpp"
 
 namespace hhc::graph {
 
@@ -16,27 +12,51 @@ namespace {
 constexpr std::uint32_t in_node(Vertex v) { return 2 * v; }
 constexpr std::uint32_t out_node(Vertex v) { return 2 * v + 1; }
 
-// Walks one unit of flow from `start` until `stop(node)` holds, consuming
-// flow-carrying forward edges. Returns the sequence of flow-network nodes
-// visited (including start and the stop node). With unit vertex capacities
-// the walk is finite and visits each vertex at most once.
-std::vector<std::uint32_t> walk_flow_unit(
-    Dinic& net, std::uint32_t start,
-    const std::function<bool(std::uint32_t)>& stop,
-    std::vector<std::vector<bool>>& consumed) {
-  std::vector<std::uint32_t> trail{start};
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FanWorkspace — the single implementation all entry points share
+// ---------------------------------------------------------------------------
+
+void FanWorkspace::build_split_network(const AdjacencyList& g, Vertex skip1,
+                                       Vertex skip2, std::size_t extra_nodes) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  net_.reset(static_cast<std::size_t>(2 * n) + extra_nodes);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != skip1 && v != skip2) net_.add_edge(in_node(v), out_node(v), 1);
+    for (Vertex u : g.neighbors(v)) {
+      net_.add_edge(out_node(v), in_node(u), 1);
+    }
+  }
+}
+
+void FanWorkspace::prepare_decomposition() {
+  if (net_.node_count() > consumed_.size()) consumed_.resize(net_.node_count());
+  for (std::uint32_t v = 0; v < net_.node_count(); ++v) {
+    consumed_[v].assign(net_.residual(v).size(), false);
+  }
+}
+
+// Walks one unit of flow from `start` to `stop`, consuming flow-carrying
+// forward edges; fills trail_ with the flow-network nodes visited (start
+// and stop included). With unit vertex capacities the walk is finite.
+void FanWorkspace::walk_unit(std::uint32_t start, std::uint32_t stop) {
+  trail_.clear();
+  trail_.push_back(start);
   std::uint32_t cur = start;
-  while (!stop(cur)) {
-    const auto& edges = net.residual(cur);
+  while (cur != stop) {
+    const auto& edges = net_.residual(cur);
     bool advanced = false;
     for (std::size_t i = 0; i < edges.size(); ++i) {
       const auto& e = edges[i];
-      if (!e.is_forward || consumed[cur][i]) continue;
+      if (!e.is_forward || consumed_[cur][i]) continue;
       // Flow on a forward edge equals the residual of its reverse edge.
-      if (net.residual(e.to)[e.rev].capacity <= 0) continue;
-      consumed[cur][i] = true;
+      if (net_.residual(e.to)[e.rev].capacity <= 0) continue;
+      consumed_[cur][i] = true;
       cur = e.to;
-      trail.push_back(cur);
+      trail_.push_back(cur);
       advanced = true;
       break;
     }
@@ -44,22 +64,16 @@ std::vector<std::uint32_t> walk_flow_unit(
       throw std::logic_error("flow decomposition: dead end (broken flow)");
     }
   }
-  return trail;
 }
 
-std::vector<std::vector<bool>> make_consumed(const Dinic& net) {
-  std::vector<std::vector<bool>> consumed(net.node_count());
-  for (std::uint32_t v = 0; v < net.node_count(); ++v) {
-    consumed[v].assign(net.residual(v).size(), false);
-  }
-  return consumed;
+VertexPath& FanWorkspace::slot(std::size_t i) {
+  while (i >= paths_.size()) paths_.emplace_back();
+  paths_[i].clear();
+  return paths_[i];
 }
 
-}  // namespace
-
-std::vector<VertexPath> max_vertex_disjoint_paths(const AdjacencyList& g,
-                                                  Vertex s, Vertex t,
-                                                  std::size_t limit) {
+std::span<const VertexPath> FanWorkspace::max_disjoint_paths(
+    const AdjacencyList& g, Vertex s, Vertex t, std::size_t limit) {
   if (s >= g.vertex_count() || t >= g.vertex_count()) {
     throw std::invalid_argument("disjoint paths: vertex out of range");
   }
@@ -68,35 +82,98 @@ std::vector<VertexPath> max_vertex_disjoint_paths(const AdjacencyList& g,
   const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
   const bool capped = limit < g.degree(s);
   const std::uint32_t super = 2 * n;  // only used when capped
-  Dinic net{static_cast<std::size_t>(2 * n) + (capped ? 1u : 0u)};
-
-  for (Vertex v = 0; v < n; ++v) {
-    if (v != s && v != t) net.add_edge(in_node(v), out_node(v), 1);
-    for (Vertex u : g.neighbors(v)) {
-      net.add_edge(out_node(v), in_node(u), 1);
-    }
-  }
+  build_split_network(g, s, t, capped ? 1u : 0u);
   std::uint32_t source = out_node(s);
   if (capped) {
-    net.add_edge(super, out_node(s), static_cast<std::int64_t>(limit));
+    net_.add_edge(super, out_node(s), static_cast<std::int64_t>(limit));
     source = super;
   }
-  const std::int64_t flow = net.max_flow(source, in_node(t));
+  const std::int64_t flow = net_.max_flow(source, in_node(t));
 
-  std::vector<VertexPath> paths;
-  paths.reserve(static_cast<std::size_t>(flow));
-  auto consumed = make_consumed(net);
+  prepare_decomposition();
   for (std::int64_t unit = 0; unit < flow; ++unit) {
-    const auto trail = walk_flow_unit(
-        net, out_node(s), [&](std::uint32_t v) { return v == in_node(t); },
-        consumed);
-    VertexPath path{s};
-    for (std::uint32_t node : trail) {
+    walk_unit(out_node(s), in_node(t));
+    VertexPath& path = slot(static_cast<std::size_t>(unit));
+    path.push_back(s);
+    for (const std::uint32_t node : trail_) {
       if (node != out_node(s) && node % 2 == 0) path.push_back(node / 2);
     }
-    paths.push_back(std::move(path));
   }
-  return paths;
+  return {paths_.data(), static_cast<std::size_t>(flow)};
+}
+
+std::span<const VertexPath> FanWorkspace::fan(const AdjacencyList& g, Vertex s,
+                                              std::span<const Vertex> targets) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
+  if (s >= n) throw std::invalid_argument("fan: source out of range");
+  target_slot_.assign(n, kNoSlot);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const Vertex t = targets[i];
+    if (t >= n || t == s) throw std::invalid_argument("fan: bad target");
+    if (target_slot_[t] != kNoSlot) {
+      throw std::invalid_argument("fan: duplicate target");
+    }
+    target_slot_[t] = i;
+  }
+  if (targets.empty()) return {};
+
+  const std::uint32_t sink = 2 * n;
+  build_split_network(g, s, s, 1);
+  for (const Vertex t : targets) net_.add_edge(out_node(t), sink, 1);
+
+  const std::int64_t flow = net_.max_flow(out_node(s), sink);
+  if (flow != static_cast<std::int64_t>(targets.size())) {
+    throw std::runtime_error("vertex_disjoint_fan: no complete fan exists");
+  }
+
+  prepare_decomposition();
+  for (std::size_t unit = 0; unit < targets.size(); ++unit) {
+    walk_unit(out_node(s), sink);
+    // The endpoint (last real vertex before the sink) names the result slot.
+    Vertex endpoint = s;
+    for (const std::uint32_t node : trail_) {
+      if (node != out_node(s) && node != sink && node % 2 == 0) {
+        endpoint = node / 2;
+      }
+    }
+    VertexPath& path = slot(target_slot_[endpoint]);
+    path.push_back(s);
+    for (const std::uint32_t node : trail_) {
+      if (node != out_node(s) && node != sink && node % 2 == 0) {
+        path.push_back(node / 2);
+      }
+    }
+  }
+  return {paths_.data(), targets.size()};
+}
+
+std::span<const VertexPath> FanWorkspace::reverse_fan(
+    const AdjacencyList& g, std::span<const Vertex> sources, Vertex t) {
+  // Reuse the forward fan on the same (undirected) graph and reverse paths.
+  const auto fans = fan(g, t, sources);
+  for (std::size_t i = 0; i < fans.size(); ++i) {
+    std::reverse(paths_[i].begin(), paths_[i].end());
+  }
+  return fans;
+}
+
+// ---------------------------------------------------------------------------
+// Allocating wrappers (the original public surface)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<VertexPath> copy_out(std::span<const VertexPath> views) {
+  return {views.begin(), views.end()};
+}
+
+}  // namespace
+
+std::vector<VertexPath> max_vertex_disjoint_paths(const AdjacencyList& g,
+                                                  Vertex s, Vertex t,
+                                                  std::size_t limit) {
+  FanWorkspace ws;
+  return copy_out(ws.max_disjoint_paths(g, s, t, limit));
 }
 
 std::size_t vertex_connectivity_between(const AdjacencyList& g, Vertex s,
@@ -115,75 +192,35 @@ std::size_t vertex_connectivity_between(const AdjacencyList& g, Vertex s,
 
 std::vector<VertexPath> vertex_disjoint_fan(const AdjacencyList& g, Vertex s,
                                             std::span<const Vertex> targets) {
-  const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
-  if (s >= n) throw std::invalid_argument("fan: source out of range");
-  std::unordered_map<Vertex, std::size_t> target_index;
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const Vertex t = targets[i];
-    if (t >= n || t == s) throw std::invalid_argument("fan: bad target");
-    if (!target_index.emplace(t, i).second) {
-      throw std::invalid_argument("fan: duplicate target");
-    }
-  }
-  if (targets.empty()) return {};
-
-  const std::uint32_t sink = 2 * n;
-  Dinic net{static_cast<std::size_t>(2 * n) + 1};
-  for (Vertex v = 0; v < n; ++v) {
-    if (v != s) net.add_edge(in_node(v), out_node(v), 1);
-    for (Vertex u : g.neighbors(v)) {
-      net.add_edge(out_node(v), in_node(u), 1);
-    }
-  }
-  for (const Vertex t : targets) net.add_edge(out_node(t), sink, 1);
-
-  const std::int64_t flow = net.max_flow(out_node(s), sink);
-  if (flow != static_cast<std::int64_t>(targets.size())) {
-    throw std::runtime_error("vertex_disjoint_fan: no complete fan exists");
-  }
-
-  std::vector<VertexPath> result(targets.size());
-  auto consumed = make_consumed(net);
-  for (std::size_t unit = 0; unit < targets.size(); ++unit) {
-    const auto trail = walk_flow_unit(
-        net, out_node(s), [&](std::uint32_t v) { return v == sink; }, consumed);
-    VertexPath path{s};
-    for (std::uint32_t node : trail) {
-      if (node != out_node(s) && node != sink && node % 2 == 0) {
-        path.push_back(node / 2);
-      }
-    }
-    const Vertex endpoint = path.back();
-    result[target_index.at(endpoint)] = std::move(path);
-  }
-  return result;
+  FanWorkspace ws;
+  return copy_out(ws.fan(g, s, targets));
 }
 
 std::vector<VertexPath> vertex_disjoint_reverse_fan(
     const AdjacencyList& g, std::span<const Vertex> sources, Vertex t) {
-  // Reuse the forward fan on the same (undirected) graph and reverse paths.
-  auto fans = vertex_disjoint_fan(g, t, sources);
-  for (auto& p : fans) std::reverse(p.begin(), p.end());
-  return fans;
+  FanWorkspace ws;
+  return copy_out(ws.reverse_fan(g, sources, t));
 }
 
 std::vector<VertexPath> set_to_set_disjoint_paths(
     const AdjacencyList& g, std::span<const Vertex> sources,
     std::span<const Vertex> sinks) {
   const std::uint32_t n = static_cast<std::uint32_t>(g.vertex_count());
-  std::unordered_map<Vertex, std::size_t> source_set;
-  std::unordered_map<Vertex, std::size_t> sink_set;
+  std::vector<std::size_t> source_slot(n, kNoSlot);
+  std::vector<std::size_t> sink_slot(n, kNoSlot);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     if (sources[i] >= n) throw std::invalid_argument("set-to-set: bad source");
-    if (!source_set.emplace(sources[i], i).second) {
+    if (source_slot[sources[i]] != kNoSlot) {
       throw std::invalid_argument("set-to-set: duplicate source");
     }
+    source_slot[sources[i]] = i;
   }
   for (std::size_t i = 0; i < sinks.size(); ++i) {
     if (sinks[i] >= n) throw std::invalid_argument("set-to-set: bad sink");
-    if (!sink_set.emplace(sinks[i], i).second) {
+    if (sink_slot[sinks[i]] != kNoSlot) {
       throw std::invalid_argument("set-to-set: duplicate sink");
     }
+    sink_slot[sinks[i]] = i;
   }
   if (sources.empty() || sinks.empty()) return {};
 
@@ -206,10 +243,30 @@ std::vector<VertexPath> set_to_set_disjoint_paths(
 
   std::vector<VertexPath> paths;
   paths.reserve(static_cast<std::size_t>(flow));
-  auto consumed = make_consumed(net);
+  std::vector<std::vector<bool>> consumed(net.node_count());
+  for (std::uint32_t v = 0; v < net.node_count(); ++v) {
+    consumed[v].assign(net.residual(v).size(), false);
+  }
   for (std::int64_t unit = 0; unit < flow; ++unit) {
-    const auto trail = walk_flow_unit(
-        net, super_s, [&](std::uint32_t v) { return v == super_t; }, consumed);
+    std::vector<std::uint32_t> trail{super_s};
+    std::uint32_t cur = super_s;
+    while (cur != super_t) {
+      const auto& edges = net.residual(cur);
+      bool advanced = false;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto& e = edges[i];
+        if (!e.is_forward || consumed[cur][i]) continue;
+        if (net.residual(e.to)[e.rev].capacity <= 0) continue;
+        consumed[cur][i] = true;
+        cur = e.to;
+        trail.push_back(cur);
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        throw std::logic_error("flow decomposition: dead end (broken flow)");
+      }
+    }
     VertexPath path;
     for (const std::uint32_t node : trail) {
       if (node == super_s || node == super_t) continue;

@@ -17,9 +17,60 @@
 #include <vector>
 
 #include "graph/adjacency_list.hpp"
+#include "graph/dinic.hpp"
 #include "graph/types.hpp"
 
 namespace hhc::graph {
+
+/// Reusable workspace for the flow-based disjoint-path routines below.
+///
+/// The HHC construction solves two endpoint-fan subproblems per query on a
+/// <= 32-node cluster graph; building a fresh Dinic network (plus the flow
+/// decomposition scratch) each time dominated the allocation profile of the
+/// whole construction. A warm workspace cycled through same-shaped problems
+/// performs ZERO heap allocations: the flow network, the consumed-edge
+/// marks, and the result paths all reuse prior capacity.
+///
+/// Results are spans into workspace-owned storage, valid until the next
+/// call on the same workspace. Not thread-safe; use one per thread (the
+/// construction reaches it through core::ConstructionScratch).
+///
+/// Each method is result-identical to the free function of the same shape
+/// below (same network layout, same augmentation order, same flow
+/// decomposition) — asserted by the differential suite.
+class FanWorkspace {
+ public:
+  FanWorkspace() = default;
+  FanWorkspace(const FanWorkspace&) = delete;
+  FanWorkspace& operator=(const FanWorkspace&) = delete;
+
+  /// max_vertex_disjoint_paths, workspace-backed.
+  [[nodiscard]] std::span<const VertexPath> max_disjoint_paths(
+      const AdjacencyList& g, Vertex s, Vertex t,
+      std::size_t limit = static_cast<std::size_t>(-1));
+
+  /// vertex_disjoint_fan, workspace-backed: result[i] ends at targets[i].
+  [[nodiscard]] std::span<const VertexPath> fan(const AdjacencyList& g,
+                                                Vertex s,
+                                                std::span<const Vertex> targets);
+
+  /// vertex_disjoint_reverse_fan, workspace-backed.
+  [[nodiscard]] std::span<const VertexPath> reverse_fan(
+      const AdjacencyList& g, std::span<const Vertex> sources, Vertex t);
+
+ private:
+  void build_split_network(const AdjacencyList& g, Vertex skip1, Vertex skip2,
+                           std::size_t extra_nodes);
+  void prepare_decomposition();
+  void walk_unit(std::uint32_t start, std::uint32_t stop);
+  [[nodiscard]] VertexPath& slot(std::size_t i);
+
+  Dinic net_{0};
+  std::vector<std::vector<bool>> consumed_;  // per-node edge marks, reused
+  std::vector<std::uint32_t> trail_;         // flow-network walk, reused
+  std::vector<VertexPath> paths_;            // result storage, reused
+  std::vector<std::size_t> target_slot_;     // vertex -> result index
+};
 
 /// Maximum set of internally vertex-disjoint s-t paths (s != t).
 /// Paths include both endpoints. At most `limit` paths are returned (the

@@ -1,5 +1,6 @@
 #include "query/path_service.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -38,6 +39,37 @@ RouteResult PathService::answer(const PairQuery& query) {
       break;
   }
   return result;
+}
+
+RouteView PathService::answer_view(const PairQuery& query) {
+  if (!net_.contains(query.s) || !net_.contains(query.t)) {
+    throw std::invalid_argument("PathService: node out of range");
+  }
+  if (query.faults != nullptr) {
+    throw std::invalid_argument(
+        "PathService::answer_view: pristine-only (fault-aware queries must "
+        "use answer())");
+  }
+
+  util::Stopwatch watch;
+  RouteView view;
+  view.level = DegradationLevel::kGuaranteed;
+  if (query.s == query.t) {
+    // One shared trivial container {node 0}; the XOR mask relabels node 0
+    // to s, so even the self-loop answer allocates nothing per query.
+    static const auto kSelf = std::make_shared<const core::FlatContainer>(
+        core::FlatContainer{{0}, {0, 1}});
+    view.container = core::ContainerHandle{kSelf, query.s};
+    view.cache_hit = true;
+  } else {
+    view.container =
+        cache_.lookup(query.s, query.t, query.options, &view.cache_hit);
+  }
+  view.micros = watch.micros();
+  latency_.record(view.micros);
+  pristine_.fetch_add(1, std::memory_order_relaxed);
+  guaranteed_.fetch_add(1, std::memory_order_relaxed);
+  return view;
 }
 
 RouteResult PathService::answer_impl(const PairQuery& query) {

@@ -42,6 +42,19 @@
 
 namespace hhc::query {
 
+/// Borrowed answer of the zero-copy pristine fast path (answer_view).
+/// `container` shares ownership of the cached flat container — valid for as
+/// long as the view lives, even across cache eviction — and relabels nodes
+/// lazily, so a cache hit allocates nothing and copies no node data.
+struct RouteView {
+  core::ContainerHandle container;
+  DegradationLevel level = DegradationLevel::kDisconnected;
+  bool cache_hit = false;  // served without running the construction
+  double micros = 0.0;     // service-side wall time
+
+  [[nodiscard]] bool ok() const noexcept { return container.valid(); }
+};
+
 struct PathServiceConfig {
   /// Default construction knobs; PairQuery.options overrides per query.
   core::ConstructionOptions options{};
@@ -71,6 +84,13 @@ class PathService {
   /// corresponds to queries[i] regardless of thread count or scheduling.
   [[nodiscard]] std::vector<RouteResult> answer(
       std::span<const PairQuery> queries);
+
+  /// The zero-copy pristine fast path: answers WITHOUT materializing the
+  /// container (RouteView.container.materialize() reproduces answer()'s
+  /// paths bit for bit). Pristine-only — throws std::invalid_argument when
+  /// the query carries a fault view (degraded routes must be materialized;
+  /// use answer()). Counted in the same telemetry as answer().
+  [[nodiscard]] RouteView answer_view(const PairQuery& query);
 
   /// Consistent telemetry snapshot (cheap; safe under concurrent answer()).
   [[nodiscard]] ServiceStats stats() const;

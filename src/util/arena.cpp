@@ -1,0 +1,108 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hhc::util {
+
+namespace {
+constexpr std::size_t kMinChunkWords = 1024;
+}
+
+PathArena::PathArena(std::size_t initial_words) {
+  if (initial_words > 0) add_chunk(initial_words);
+}
+
+void PathArena::reset() noexcept {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  current_ = 0;
+}
+
+void PathArena::add_chunk(std::size_t min_words) {
+  const std::size_t last = chunks_.empty() ? 0 : chunks_.back().size;
+  const std::size_t size = std::max({min_words, 2 * last, kMinChunkWords});
+  Chunk chunk;
+  chunk.words = std::make_unique<std::uint64_t[]>(size);
+  chunk.size = size;
+  ++heap_allocations_;  // the word block; the vector slot is amortized noise
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+}
+
+std::uint64_t* PathArena::allocate(std::size_t words) {
+  // Walk forward through the retained chunks before minting a new one;
+  // chunks behind current_ keep whatever the running query already wrote.
+  while (current_ < chunks_.size()) {
+    Chunk& chunk = chunks_[current_];
+    if (chunk.size - chunk.used >= words) {
+      std::uint64_t* region = chunk.words.get() + chunk.used;
+      chunk.used += words;
+      return region;
+    }
+    if (current_ + 1 == chunks_.size()) break;
+    ++current_;
+  }
+  add_chunk(words);
+  Chunk& chunk = chunks_[current_];
+  chunk.used = words;
+  return chunk.words.get();
+}
+
+bool PathArena::is_top(const std::uint64_t* end) const noexcept {
+  if (current_ >= chunks_.size()) return false;
+  const Chunk& chunk = chunks_[current_];
+  return chunk.words.get() + chunk.used == end;
+}
+
+std::uint64_t* PathArena::extend(std::uint64_t* data, std::size_t old_cap,
+                                 std::size_t len, std::size_t new_cap) {
+  if (data != nullptr && is_top(data + old_cap)) {
+    Chunk& chunk = chunks_[current_];
+    if (chunk.size - chunk.used + old_cap >= new_cap) {
+      chunk.used += new_cap - old_cap;
+      return data;
+    }
+    // Doesn't fit in place: give back the old region before relocating so
+    // a fresh chunk sized for new_cap doesn't strand the old top.
+    chunk.used -= old_cap;
+  }
+  std::uint64_t* moved = allocate(new_cap);
+  if (len > 0) std::memcpy(moved, data, len * sizeof(std::uint64_t));
+  return moved;
+}
+
+void PathArena::trim(std::uint64_t* data, std::size_t cap,
+                     std::size_t len) noexcept {
+  if (data != nullptr && is_top(data + cap)) {
+    chunks_[current_].used -= cap - len;
+  }
+}
+
+std::span<const std::uint64_t> PathArena::Builder::finish() {
+  arena_->trim(data_, cap_, len_);
+  const std::span<const std::uint64_t> view{data_, len_};
+  data_ = nullptr;
+  len_ = 0;
+  cap_ = 0;
+  return view;
+}
+
+void PathArena::Builder::grow() {
+  const std::size_t new_cap = cap_ == 0 ? 32 : 2 * cap_;
+  data_ = arena_->extend(data_, cap_, len_, new_cap);
+  cap_ = new_cap;
+}
+
+std::size_t PathArena::reserved_words() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+std::size_t PathArena::used_words() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.used;
+  return total;
+}
+
+}  // namespace hhc::util

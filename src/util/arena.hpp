@@ -1,0 +1,101 @@
+// Bump-allocated storage for path construction hot loops.
+//
+// The disjoint-path construction used to heap-allocate a fresh std::vector
+// per path, per query. PathArena replaces that with chunked bump allocation
+// of 64-bit words (node ids): a query bumps a pointer, reset() rewinds it,
+// and the chunks themselves are reused forever — after a short warm-up the
+// steady state performs ZERO heap allocations per query (asserted by
+// tests/test_allocation.cpp via the heap_allocations() counting hook).
+//
+// Lifetime rules (see DESIGN.md §7):
+//   * Spans handed out by a builder stay valid until the owning arena is
+//     reset() or destroyed — chunks never move or shrink.
+//   * reset() invalidates every span previously carved from the arena; the
+//     typical pattern is one reset() at the start of each query.
+//   * At most one Builder may be growing at a time (builders bump the top
+//     of the arena in place); finish one path before starting the next.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace hhc::util {
+
+class PathArena {
+ public:
+  /// `initial_words` pre-reserves the first chunk (0 = allocate lazily).
+  explicit PathArena(std::size_t initial_words = 0);
+
+  PathArena(const PathArena&) = delete;
+  PathArena& operator=(const PathArena&) = delete;
+
+  /// Rewinds the arena to empty, KEEPING all chunks for reuse. O(#chunks).
+  /// Invalidates every span previously allocated from this arena.
+  void reset() noexcept;
+
+  /// Uninitialized storage for `words` 64-bit words; stable until reset().
+  [[nodiscard]] std::uint64_t* allocate(std::size_t words);
+
+  /// Incremental writer for one path. Grows geometrically; the final span
+  /// is trimmed to size, so sequential builders pack densely.
+  class Builder {
+   public:
+    void push(std::uint64_t v) {
+      if (len_ == cap_) grow();
+      data_[len_++] = v;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return len_; }
+    /// Trims the reservation to the written length and returns the span
+    /// (valid until the arena is reset). The builder becomes empty.
+    [[nodiscard]] std::span<const std::uint64_t> finish();
+
+   private:
+    friend class PathArena;
+    explicit Builder(PathArena& arena) noexcept : arena_{&arena} {}
+    void grow();
+
+    PathArena* arena_;
+    std::uint64_t* data_ = nullptr;
+    std::size_t len_ = 0;
+    std::size_t cap_ = 0;
+  };
+
+  [[nodiscard]] Builder builder() noexcept { return Builder{*this}; }
+
+  /// Counting hook: heap allocations (new chunks) performed since
+  /// construction. Constant across queries once the arena is warm.
+  [[nodiscard]] std::size_t heap_allocations() const noexcept {
+    return heap_allocations_;
+  }
+  /// Total words across all chunks.
+  [[nodiscard]] std::size_t reserved_words() const noexcept;
+  /// Words handed out since the last reset() (including builder slack).
+  [[nodiscard]] std::size_t used_words() const noexcept;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint64_t[]> words;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  /// Appends a chunk of at least `min_words`; becomes the current chunk.
+  void add_chunk(std::size_t min_words);
+  /// Extends the region [data, data+old_cap) to new_cap words, in place
+  /// when it is the top of the current chunk, otherwise by relocating the
+  /// first `len` words. Returns the (possibly moved) region start.
+  std::uint64_t* extend(std::uint64_t* data, std::size_t old_cap,
+                        std::size_t len, std::size_t new_cap);
+  /// Returns the unused tail of a top region to the arena.
+  void trim(std::uint64_t* data, std::size_t cap, std::size_t len) noexcept;
+  [[nodiscard]] bool is_top(const std::uint64_t* end) const noexcept;
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // chunks_[current_] is being bumped
+  std::size_t heap_allocations_ = 0;
+};
+
+}  // namespace hhc::util

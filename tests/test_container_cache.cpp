@@ -152,5 +152,63 @@ TEST(ContainerCache, RejectsBadInput) {
   EXPECT_THROW((void)cache.paths(0, net.node_count()), std::invalid_argument);
 }
 
+TEST(ContainerCache, LookupMaterializesToPathsResult) {
+  const HhcTopology net{3};
+  ContainerCache cache{net};
+  for (const auto& [s, t] : sample_pairs(net, 40, 21)) {
+    const ContainerHandle handle = cache.lookup(s, t);
+    ASSERT_TRUE(handle.valid());
+    EXPECT_EQ(handle.path_count(), net.m() + 1);
+    EXPECT_EQ(handle.source(), s);
+    EXPECT_EQ(handle.target(), t);
+    const auto set = handle.materialize();
+    EXPECT_EQ(set.paths, node_disjoint_paths(net, s, t).paths);
+    EXPECT_EQ(handle.max_length(), set.max_length());
+    for (std::size_t i = 0; i < set.paths.size(); ++i) {
+      EXPECT_EQ(handle.materialize_path(i), set.paths[i]);
+    }
+  }
+}
+
+TEST(ContainerCache, HandleSurvivesEviction) {
+  // A handle shares ownership of its flat container: evicting (or clearing)
+  // the cache entry must not invalidate outstanding views.
+  const HhcTopology net{3};
+  ContainerCache cache{net, {.shards = 1, .max_entries_per_shard = 2}};
+  const auto pairs = sample_pairs(net, 60, 23);
+  const auto [s, t] = pairs[0];
+  const ContainerHandle handle = cache.lookup(s, t);
+  const auto before = handle.materialize();
+
+  // Thrash the 2-entry shard until the original entry is long gone, then
+  // drop everything for good measure.
+  for (const auto& [a, b] : pairs) (void)cache.lookup(a, b);
+  EXPECT_GT(cache.evictions(), 0u);
+  cache.clear();
+
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(handle.materialize().paths, before.paths);
+  // A fresh lookup after eviction reconstructs the identical container.
+  EXPECT_EQ(cache.lookup(s, t).materialize().paths, before.paths);
+}
+
+TEST(ContainerCache, TranslatedPairsShareOneFlatContainer) {
+  // Two pairs in the same canonical class must be served from one shared
+  // container, distinguished only by the handles' XOR relabeling.
+  const HhcTopology net{2};
+  ContainerCache cache{net};
+  const Node s1 = net.encode(0b01, 0), t1 = net.encode(0b10, 1);
+  const std::uint64_t xs = 0b11;
+  const Node s2 = net.encode(0b01 ^ xs, 0), t2 = net.encode(0b10 ^ xs, 1);
+
+  (void)cache.lookup(s1, t1);
+  bool hit = false;
+  const ContainerHandle other = cache.lookup(s2, t2, cache.options(), &hit);
+  EXPECT_TRUE(hit);  // same canonical key: no second construction
+  EXPECT_EQ(other.source(), s2);
+  EXPECT_EQ(other.target(), t2);
+  EXPECT_EQ(other.materialize().paths, node_disjoint_paths(net, s2, t2).paths);
+}
+
 }  // namespace
 }  // namespace hhc::core

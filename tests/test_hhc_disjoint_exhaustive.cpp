@@ -7,11 +7,13 @@
 // is also cross-checked against the independent max-flow baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "baseline/maxflow_paths.hpp"
 #include "core/disjoint.hpp"
 #include "core/metrics.hpp"
+#include "core/scratch.hpp"
 #include "util/rng.hpp"
 
 namespace hhc::core {
@@ -19,11 +21,22 @@ namespace {
 
 void check_pair(const HhcTopology& net, Node s, Node t,
                 DimensionOrdering ordering = DimensionOrdering::kGrayCycle) {
-  const auto set =
-      node_disjoint_paths(net, s, t, ConstructionOptions{.ordering = ordering});
+  const ConstructionOptions options{.ordering = ordering};
+  const auto set = node_disjoint_paths(net, s, t, options);
   std::string why;
   ASSERT_TRUE(verify_disjoint_path_set(net, set, s, t, &why))
       << "m=" << net.m() << " s=" << s << " t=" << t << ": " << why;
+
+  // Differential: the arena-backed scratch overload must agree node for
+  // node with the copying entry point on every pair this suite touches.
+  const DisjointPathSetRef ref =
+      node_disjoint_paths(net, s, t, options, tls_construction_scratch());
+  ASSERT_EQ(ref.paths.size(), set.paths.size());
+  for (std::size_t i = 0; i < ref.paths.size(); ++i) {
+    ASSERT_TRUE(std::ranges::equal(set.paths[i], ref.paths[i]))
+        << "m=" << net.m() << " s=" << s << " t=" << t << " path " << i
+        << ": scratch overload diverged from copying API";
+  }
 }
 
 TEST(HhcDisjointExhaustive, AllPairsM1) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/local_routing.hpp"
 #include "core/metrics.hpp"
 #include "core/routing.hpp"
@@ -99,6 +101,34 @@ TEST(LocalRouting, StepBudgetRespected) {
   const auto r = local_fault_route(net, s, t, FaultSet{}, /*max_steps=*/3);
   EXPECT_FALSE(r.ok());
   EXPECT_LE(r.steps, 3u);
+}
+
+TEST(LocalRouting, ScratchOverloadMatchesLegacy) {
+  // Identical walk, not merely an equivalent one: the scratch overload must
+  // reproduce the legacy path AND the step/backtrack telemetry, with and
+  // without faults and under a step budget.
+  LocalRouteScratch scratch;
+  for (unsigned m = 2; m <= 3; ++m) {
+    const HhcTopology net{m};
+    util::Xoshiro256 rng{0x10CA1 + m};
+    for (const auto& [s, t] : sample_pairs(net, 120, 55 + m)) {
+      const auto faults = FaultSet::random(net, m, s, t, rng);
+      const auto legacy = local_fault_route(net, s, t, faults);
+      const auto view = local_fault_route(net, s, t, faults, 0, scratch);
+      ASSERT_EQ(view.ok(), legacy.ok()) << "m=" << m << " " << s << "->" << t;
+      ASSERT_TRUE(std::equal(view.path.begin(), view.path.end(),
+                             legacy.path.begin(), legacy.path.end()));
+      EXPECT_EQ(view.steps, legacy.steps);
+      EXPECT_EQ(view.backtracks, legacy.backtracks);
+    }
+  }
+  // Budget-capped failure agrees too.
+  const HhcTopology net{4};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(net.cluster_count() - 1, net.cluster_size() - 1);
+  const auto capped = local_fault_route(net, s, t, FaultSet{}, 3, scratch);
+  EXPECT_FALSE(capped.ok());
+  EXPECT_LE(capped.steps, 3u);
 }
 
 TEST(LocalRouting, RejectsFaultyEndpoints) {

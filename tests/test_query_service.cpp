@@ -211,5 +211,57 @@ TEST(PathService, FaultAwareQueriesShareThePristineCache) {
   EXPECT_EQ(service.cache().hits(), 1u);
 }
 
+TEST(PathService, AnswerViewMatchesAnswer) {
+  const HhcTopology net{3};
+  PathService service{net};
+  for (const auto& [s, t] : core::sample_pairs(net, 40, 31)) {
+    const RouteView view = service.answer_view(PairQuery{.s = s, .t = t});
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.level, DegradationLevel::kGuaranteed);
+    const auto direct = service.answer(PairQuery{.s = s, .t = t});
+    EXPECT_EQ(view.container.materialize().paths, direct.paths);
+  }
+}
+
+TEST(PathService, AnswerViewSelfQueryIsTrivial) {
+  const HhcTopology net{2};
+  PathService service{net};
+  const RouteView view = service.answer_view(PairQuery{.s = 42, .t = 42});
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view.cache_hit);
+  EXPECT_EQ(view.container.path_count(), 1u);
+  EXPECT_EQ(view.container.path_size(0), 1u);
+  EXPECT_EQ(view.container.node(0, 0), 42u);
+  EXPECT_EQ(view.level, DegradationLevel::kGuaranteed);
+}
+
+TEST(PathService, AnswerViewCountsInTelemetry) {
+  const HhcTopology net{2};
+  PathService service{net};
+  (void)service.answer_view(PairQuery{.s = 0, .t = 60});
+  (void)service.answer_view(PairQuery{.s = 0, .t = 60});
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.pristine, 2u);
+  EXPECT_EQ(stats.guaranteed, 2u);
+  EXPECT_EQ(stats.latency.count, 2u);
+  EXPECT_EQ(service.cache().hits(), 1u);
+  EXPECT_EQ(service.cache().misses(), 1u);
+}
+
+TEST(PathService, AnswerViewRejectsBadInput) {
+  const HhcTopology net{2};
+  PathService service{net};
+  EXPECT_THROW((void)service.answer_view(PairQuery{.s = 0, .t = net.node_count()}),
+               std::invalid_argument);
+  // The zero-copy path is pristine-only by contract: degraded routes must
+  // be materialized through answer().
+  core::FaultModel faults;
+  faults.fail_node(33);
+  EXPECT_THROW(
+      (void)service.answer_view(PairQuery{.s = 0, .t = 60, .faults = &faults}),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hhc::query
