@@ -23,11 +23,16 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/fault_model.hpp"
+#include "core/fault_routing.hpp"
 #include "core/io.hpp"
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "query/path_service.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -135,7 +140,82 @@ void sweep(const core::HhcTopology& net,
   std::cout << '\n';
 }
 
-void emit_json(const std::vector<SweepRow>& rows, bool smoke) {
+struct StageRow {
+  std::string stage;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct TracingOverhead {
+  double disabled_qps = 0.0;
+  double enabled_qps = 0.0;
+};
+
+// Per-stage latency breakdown: one traced single-thread pass of the hot
+// workload (cache lookup / construct / answer_view stages) plus a
+// fault-aware pass (container scan / BFS fallback), read back from the
+// registry's stage histograms. Also measures the cost of leaving the
+// instrumentation resident: the same hammer pass with tracing disabled vs
+// enabled (disabled is the production configuration the < 2% overhead
+// acceptance is about).
+void stage_breakdown(const core::HhcTopology& net,
+                     const std::vector<core::PairSample>& pairs, bool smoke,
+                     std::vector<StageRow>& stages, TracingOverhead& tracing) {
+  query::PathService service{net,
+                             {.cache_shards = 16, .max_entries_per_shard = 64}};
+  (void)hammer(service, pairs, 0.99, 1);  // warm-up, discarded
+
+  const auto off = hammer(service, pairs, 0.99, 1);
+  tracing.disabled_qps =
+      static_cast<double>(off.stats.queries) / off.seconds;
+
+  obs::MetricRegistry::global().reset();
+  obs::Tracer::enable(/*events_per_thread=*/1 << 10);
+  const auto on = hammer(service, pairs, 0.99, 1);
+  tracing.enabled_qps = static_cast<double>(on.stats.queries) / on.seconds;
+
+  // Fault-aware pass while still tracing: lights up the router stages.
+  const std::size_t fault_queries = smoke ? 500 : 4000;
+  util::Xoshiro256 rng{0xF11D};
+  for (std::size_t i = 0; i < fault_queries; ++i) {
+    const auto& p = pairs[i % pairs.size()];
+    const core::FaultModel faults{
+        core::FaultSet::random(net, /*count=*/3, p.s, p.t, rng)};
+    (void)service.answer(
+        query::PairQuery{.s = p.s, .t = p.t, .faults = &faults});
+  }
+  obs::Tracer::disable();
+
+  util::Table table{{"stage", "count", "p50 us", "p99 us", "max us"}};
+  for (const auto& [name, hist] :
+       obs::MetricRegistry::global().snapshot().histograms) {
+    if (hist.count == 0) continue;
+    const StageRow row{.stage = name,
+                       .count = hist.count,
+                       .p50_us = hist.percentile(0.50),
+                       .p99_us = hist.percentile(0.99),
+                       .max_us = hist.max_value};
+    stages.push_back(row);
+    table.row()
+        .add(row.stage)
+        .add(row.count)
+        .add(row.p50_us, 1)
+        .add(row.p99_us, 1)
+        .add(row.max_us, 1);
+  }
+  table.print(std::cout, "per-stage latency breakdown (traced passes)");
+  std::cout << "tracing overhead: " << static_cast<std::uint64_t>(
+                   tracing.disabled_qps)
+            << " qps disabled vs "
+            << static_cast<std::uint64_t>(tracing.enabled_qps)
+            << " qps enabled (disabled is the production default)\n\n";
+}
+
+void emit_json(const std::vector<SweepRow>& rows,
+               const std::vector<StageRow>& stages,
+               const TracingOverhead& tracing, bool smoke) {
   core::JsonWriter json;
   json.begin_object()
       .key("bench").value("query_throughput")
@@ -154,7 +234,23 @@ void emit_json(const std::vector<SweepRow>& rows, bool smoke) {
         .key("p99_us").value(row.p99_us)
         .end_object();
   }
-  json.end_array().end_object();
+  json.end_array();
+  json.key("stages").begin_array();
+  for (const StageRow& row : stages) {
+    json.begin_object()
+        .key("stage").value(row.stage)
+        .key("count").value(row.count)
+        .key("p50_us").value(row.p50_us)
+        .key("p99_us").value(row.p99_us)
+        .key("max_us").value(row.max_us)
+        .end_object();
+  }
+  json.end_array();
+  json.key("tracing").begin_object()
+      .key("disabled_qps").value(tracing.disabled_qps)
+      .key("enabled_qps").value(tracing.enabled_qps)
+      .end_object();
+  json.end_object();
   std::ofstream out{"BENCH_query.json"};
   out << json.str() << '\n';
   std::cout << "wrote BENCH_query.json\n";
@@ -185,6 +281,10 @@ int main(int argc, char** argv) {
   sweep(net, pairs, 0.99, "hot workload (Zipf skew 0.99)", max_threads, rows);
   sweep(net, pairs, 0.0, "cold workload (uniform, skew 0)", max_threads, rows);
 
+  std::vector<StageRow> stages;
+  TracingOverhead tracing;
+  stage_breakdown(net, pairs, smoke, stages, tracing);
+
   std::cout
       << "Expected shape: the Zipf head stays resident in the capacity-bound\n"
          "cache, so the hot workload runs at a far higher hit rate and\n"
@@ -194,6 +294,6 @@ int main(int argc, char** argv) {
          "threads on an >= 8-core machine; a single-core box reports\n"
          "speedup ~1x by construction). Handle answers materialize to the\n"
          "same bits as serial node_disjoint_paths at every thread count.\n";
-  emit_json(rows, smoke);
+  emit_json(rows, stages, tracing, smoke);
   return 0;
 }

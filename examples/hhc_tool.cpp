@@ -6,19 +6,27 @@
 //   hhc_tool faults    --m 3 --s 0 --t 2047 --count 3 --seed 1
 //   hhc_tool broadcast --m 2 --root 0
 //   hhc_tool dot       --m 2
+//   hhc_tool trace     --m 3 --queries 200 --fault-queries 50 --out trace.json
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/broadcast.hpp"
 #include "core/disjoint.hpp"
+#include "core/fault_model.hpp"
 #include "core/fault_routing.hpp"
 #include "core/io.hpp"
 #include "core/local_routing.hpp"
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "query/path_service.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -123,6 +131,89 @@ int cmd_dot(const util::Options& opts) {
   return 0;
 }
 
+// Runs a seeded query batch (pristine + fault-aware, so both the cache and
+// the adaptive-router stages light up) with tracing enabled and writes the
+// spans as Chrome trace_event JSON — load into chrome://tracing or
+// https://ui.perfetto.dev. Also prints the per-stage latency histograms
+// accumulated in the metric registry.
+int cmd_trace(const util::Options& opts) {
+  const auto m = static_cast<unsigned>(opts.get_int("m", 3));
+  const core::HhcTopology net{m};
+  const auto queries = static_cast<std::size_t>(opts.get_int("queries", 200));
+  const auto fault_queries =
+      static_cast<std::size_t>(opts.get_int("fault-queries", 50));
+  const auto fault_count = static_cast<std::size_t>(opts.get_int("count", m));
+  const std::string out_path = opts.get("out", "trace.json");
+  const std::string csv_path = opts.get("csv", "");
+  util::Xoshiro256 rng{static_cast<std::uint64_t>(opts.get_int("seed", 1))};
+
+  query::PathService service{net};
+  obs::MetricRegistry::global().reset();
+  obs::Tracer::enable(
+      static_cast<std::size_t>(opts.get_int("ring", std::int64_t{1} << 13)));
+
+  // Pristine queries: cache lookups + cold-miss constructions.
+  for (std::size_t i = 0; i < queries; ++i) {
+    const core::Node s = rng.below(net.node_count());
+    const core::Node t = rng.below(net.node_count());
+    (void)service.answer(query::PairQuery{.s = s, .t = t});
+  }
+  // Fault-aware queries: container scans, with BFS fallbacks when the
+  // fault set blocks every container path.
+  for (std::size_t i = 0; i < fault_queries; ++i) {
+    const core::Node s = rng.below(net.node_count());
+    core::Node t = rng.below(net.node_count());
+    while (t == s) t = rng.below(net.node_count());
+    const core::FaultModel faults{
+        core::FaultSet::random(net, fault_count, s, t, rng)};
+    (void)service.answer(query::PairQuery{.s = s, .t = t, .faults = &faults});
+  }
+  obs::Tracer::disable();
+
+  const auto events = obs::Tracer::drain();
+  {
+    std::ofstream file{out_path};
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    file << obs::to_chrome_trace_json(events) << '\n';
+  }
+  if (!csv_path.empty()) {
+    std::ofstream file{csv_path};
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    file << obs::to_trace_csv(events);
+  }
+
+  std::printf("%zu spans -> %s", events.size(), out_path.c_str());
+  if (!csv_path.empty()) std::printf(" and %s", csv_path.c_str());
+  if (const auto dropped = obs::Tracer::dropped(); dropped != 0) {
+    std::printf(" (%llu dropped; raise --ring)",
+                static_cast<unsigned long long>(dropped));
+  }
+  std::printf("\n\n");
+
+  util::Table table{{"stage", "count", "p50 us", "p99 us", "max us"}};
+  for (const auto& [name, hist] :
+       obs::MetricRegistry::global().snapshot().histograms) {
+    if (hist.count == 0) continue;
+    table.row()
+        .add(name)
+        .add(hist.count)
+        .add(hist.percentile(0.50), 1)
+        .add(hist.percentile(0.99), 1)
+        .add(hist.max_value, 1);
+  }
+  table.print(std::cout,
+              "per-stage latency (m=" + std::to_string(m) + ", " +
+                  std::to_string(queries) + " pristine + " +
+                  std::to_string(fault_queries) + " fault-aware queries)");
+  return 0;
+}
+
 void usage() {
   std::puts(
       "hhc_tool <command> [--option value]...\n"
@@ -132,7 +223,10 @@ void usage() {
       "  paths      m+1 disjoint paths        (--m --s --t [--dot])\n"
       "  faults     route under random faults (--m --s --t --count --seed)\n"
       "  broadcast  one-to-all schedule       (--m --root)\n"
-      "  dot        whole network as Graphviz (--m, m <= 2)");
+      "  dot        whole network as Graphviz (--m, m <= 2)\n"
+      "  trace      Chrome trace of a query batch\n"
+      "             (--m --queries --fault-queries --count --seed --out\n"
+      "              [--csv file] [--ring events-per-thread])");
 }
 
 }  // namespace
@@ -151,6 +245,7 @@ int main(int argc, char** argv) try {
   if (command == "faults") return cmd_faults(opts);
   if (command == "broadcast") return cmd_broadcast(opts);
   if (command == "dot") return cmd_dot(opts);
+  if (command == "trace") return cmd_trace(opts);
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   usage();
   return 1;

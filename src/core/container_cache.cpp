@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 
 namespace hhc::core {
 
@@ -14,7 +18,13 @@ ContainerCache::ContainerCache(const HhcTopology& net, Config config)
     : net_{net}, config_{config} {
   const std::size_t requested = config_.shards == 0 ? 1 : config_.shards;
   shards_.resize(std::bit_ceil(requested));
-  for (auto& shard : shards_) shard = std::make_unique<Shard>();
+  // Each shard gets its own decorrelated eviction stream: deterministic
+  // per (seed, shard index), independent across shards.
+  util::SplitMix64 seeder{config_.eviction_seed};
+  for (auto& shard : shards_) {
+    shard = std::make_unique<Shard>();
+    shard->eviction_rng = util::Xoshiro256{seeder.next()};
+  }
 }
 
 std::size_t ContainerHandle::max_length() const noexcept {
@@ -73,6 +83,9 @@ ContainerHandle ContainerCache::lookup(Node s, Node t,
   const Node mask = xs << net_.m();
 
   {
+    static obs::Histogram& lookup_hist =
+        obs::stage_histogram(obs::stages::kCacheLookup);
+    obs::TraceSpan span{obs::stages::kCacheLookup, &lookup_hist};
     std::lock_guard lock{shard.mutex};
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
@@ -86,6 +99,9 @@ ContainerHandle ContainerCache::lookup(Node s, Node t,
   // any lock, then publish. A racing thread may have inserted meanwhile;
   // its result is byte-for-byte the same, so first insert wins and the
   // duplicate work is discarded.
+  static obs::Histogram& construct_hist =
+      obs::stage_histogram(obs::stages::kConstruct);
+  obs::TraceSpan span{obs::stages::kConstruct, &construct_hist};
   shard.misses.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
   const Node cs = net_.encode(0, key.ys);
@@ -107,7 +123,13 @@ ContainerHandle ContainerCache::lookup(Node s, Node t,
   if (config_.max_entries_per_shard > 0 &&
       shard.map.size() >= config_.max_entries_per_shard &&
       shard.map.find(key) == shard.map.end()) {
-    shard.map.erase(shard.map.begin());  // random replacement (see Config)
+    // Random replacement, for real: a uniformly random resident entry from
+    // the shard's seeded stream. The O(capacity) victim walk is noise next
+    // to the construction this miss just performed.
+    auto victim = shard.map.begin();
+    std::advance(victim, static_cast<std::ptrdiff_t>(
+                             shard.eviction_rng.below(shard.map.size())));
+    shard.map.erase(victim);
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   const auto [it, inserted] = shard.map.try_emplace(key, std::move(flat));

@@ -35,6 +35,7 @@
 
 #include "core/disjoint.hpp"
 #include "core/topology.hpp"
+#include "util/rng.hpp"
 
 namespace hhc::core {
 
@@ -124,10 +125,16 @@ class ContainerCache {
     ConstructionOptions options{};
     /// Number of independent shards (rounded up to a power of two, >= 1).
     std::size_t shards = 16;
-    /// Per-shard entry cap; 0 = unbounded. When full, one resident entry is
-    /// displaced per insert (random replacement — cheap, and good enough for
-    /// the skewed workloads the cache exists for) and counted as an eviction.
+    /// Per-shard entry cap; 0 = unbounded. When full, one UNIFORMLY RANDOM
+    /// resident entry is displaced per insert (drawn from a per-shard
+    /// seeded util::Xoshiro256, so runs are reproducible) and counted as an
+    /// eviction. Random replacement is cheap and good enough for the
+    /// skewed workloads the cache exists for; the O(capacity) victim walk
+    /// is dominated by the construction the miss just paid for.
     std::size_t max_entries_per_shard = 0;
+    /// Seed for the per-shard eviction RNGs (each shard derives its own
+    /// stream, so eviction choices are deterministic per configuration).
+    std::uint64_t eviction_seed = 0x9d1f2c3b4a596877ULL;
   };
 
   /// The topology is held by reference (like sim::NetworkSimulator and every
@@ -203,6 +210,7 @@ class ContainerCache {
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<Key, std::shared_ptr<const FlatContainer>, KeyHash> map;
+    util::Xoshiro256 eviction_rng;  // guarded by mutex (evictions hold it)
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
     std::atomic<std::size_t> evictions{0};

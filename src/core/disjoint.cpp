@@ -6,6 +6,9 @@
 
 #include "cube/hypercube.hpp"
 #include "graph/vertex_disjoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "util/bitops.hpp"
 
 namespace hhc::core {
@@ -240,6 +243,9 @@ void same_cluster_paths(const HhcTopology& net, Node s, Node t,
   const unsigned b = net.gateway_dimension(t);
 
   // m internally disjoint paths inside the cluster.
+  static obs::Histogram& fan_hist =
+      obs::stage_histogram(obs::stages::kFanSolve);
+  obs::TraceSpan fan_span{obs::stages::kFanSolve, &fan_hist};
   const auto inner =
       scratch.exit_fan.max_disjoint_paths(scratch.cluster_graph(m), Ys, Yt, m);
   if (inner.size() != m) {
@@ -300,10 +306,16 @@ void different_cluster_paths(const HhcTopology& net, Node s, Node t,
       scratch.entry_sources.push_back(static_cast<graph::Vertex>(route.back()));
     }
   }
-  const auto exit_fans =
-      scratch.exit_fan.fan(cluster_graph, Ys, scratch.exit_targets);
-  const auto entry_fans =
-      scratch.entry_fan.reverse_fan(cluster_graph, scratch.entry_sources, Yt);
+  std::span<const graph::VertexPath> exit_fans;
+  std::span<const graph::VertexPath> entry_fans;
+  {
+    static obs::Histogram& fan_hist =
+        obs::stage_histogram(obs::stages::kFanSolve);
+    obs::TraceSpan fan_span{obs::stages::kFanSolve, &fan_hist};
+    exit_fans = scratch.exit_fan.fan(cluster_graph, Ys, scratch.exit_targets);
+    entry_fans =
+        scratch.entry_fan.reverse_fan(cluster_graph, scratch.entry_sources, Yt);
+  }
 
   std::size_t exit_index = 0;
   std::size_t entry_index = 0;
@@ -400,12 +412,22 @@ DisjointPathSetRef node_disjoint_paths(const HhcTopology& net, Node s, Node t,
     throw std::invalid_argument("node_disjoint_paths: node out of range");
   }
   if (s == t) throw std::invalid_argument("node_disjoint_paths: s == t");
+  static obs::Counter& constructions =
+      obs::MetricRegistry::global().counter("construct.calls");
+  static obs::Counter& refills =
+      obs::MetricRegistry::global().counter("construct.arena_refills");
+  const std::size_t heap_before = scratch.arena.heap_allocations();
   scratch.arena.reset();
   scratch.refs.clear();
   if (net.cluster_of(s) == net.cluster_of(t)) {
     same_cluster_paths(net, s, t, scratch);
   } else {
     different_cluster_paths(net, s, t, options, scratch);
+  }
+  constructions.inc();
+  if (const std::size_t grown = scratch.arena.heap_allocations() - heap_before;
+      grown != 0) {
+    refills.inc(grown);
   }
   return DisjointPathSetRef{scratch.refs};
 }

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/disjoint.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 
 namespace hhc::fault {
 
@@ -117,18 +119,26 @@ query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
     return result;
   }
 
-  if (cache_ != nullptr) {
-    const core::ContainerHandle handle =
-        cache_->lookup(s, t, query.options, &result.cache_hit);
-    select_survivor(handle, faults, query.time, result);
-  } else {
-    const core::DisjointPathSetRef container = core::node_disjoint_paths(
-        net_, s, t, query.options, core::tls_construction_scratch());
-    select_survivor(RefSetView{container.paths}, faults, query.time, result);
+  {
+    static obs::Histogram& scan_hist =
+        obs::stage_histogram(obs::stages::kContainerScan);
+    obs::TraceSpan span{obs::stages::kContainerScan, &scan_hist};
+    if (cache_ != nullptr) {
+      const core::ContainerHandle handle =
+          cache_->lookup(s, t, query.options, &result.cache_hit);
+      select_survivor(handle, faults, query.time, result);
+    } else {
+      const core::DisjointPathSetRef container = core::node_disjoint_paths(
+          net_, s, t, query.options, core::tls_construction_scratch());
+      select_survivor(RefSetView{container.paths}, faults, query.time, result);
+    }
   }
   if (!result.paths.empty()) return result;
 
   result.used_fallback = true;
+  static obs::Histogram& fallback_hist =
+      obs::stage_histogram(obs::stages::kBfsFallback);
+  obs::TraceSpan span{obs::stages::kBfsFallback, &fallback_hist};
   Path detour = survivor_bfs(net_, s, t, faults, query.time);
   result.level = detour.empty() ? DegradationLevel::kDisconnected
                                 : DegradationLevel::kBestEffort;

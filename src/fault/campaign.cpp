@@ -9,6 +9,8 @@
 #include "core/fault_model.hpp"
 #include "core/io.hpp"
 #include "fault/adaptive_router.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -40,6 +42,9 @@ TrialOutcome run_trial(const core::HhcTopology& net,
                        const AdaptiveRouter& router,
                        const core::FaultModel::RandomSpec& spec,
                        std::uint64_t seed) {
+  static obs::Histogram& trial_hist =
+      obs::stage_histogram(obs::stages::kCampaignTrial);
+  obs::TraceSpan span{obs::stages::kCampaignTrial, &trial_hist};
   util::Xoshiro256 rng{seed};
   core::Node s = rng.below(net.node_count());
   core::Node t = rng.below(net.node_count());
@@ -109,6 +114,7 @@ CampaignReport CampaignRunner::run() const {
     spec.internal_link_faults = links - external;
 
     std::vector<TrialOutcome> outcomes(config_.trials);
+    obs::TraceSpan row_span{obs::stages::kCampaignRow};
     util::Stopwatch watch;
     const auto body = [&](std::size_t i) {
       outcomes[i] =

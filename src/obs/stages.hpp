@@ -1,0 +1,30 @@
+// Canonical trace-stage names, shared by the instrumentation sites, the
+// per-stage registry histograms (obs::stage_histogram), the benchmark
+// breakdown, the hhc_tool trace subcommand, and the CI smoke check that
+// greps the emitted Chrome trace for them. One constant per stage keeps
+// every consumer spelling them identically.
+#pragma once
+
+namespace hhc::obs::stages {
+
+// query layer (PathService)
+inline constexpr const char* kAnswer = "query.answer";
+inline constexpr const char* kAnswerView = "query.answer_view";
+
+// container cache (the pristine fast path's two stages)
+inline constexpr const char* kCacheLookup = "query.cache_lookup";
+inline constexpr const char* kConstruct = "query.construct";
+
+// fault-aware routing (AdaptiveRouter)
+inline constexpr const char* kContainerScan = "router.container_scan";
+inline constexpr const char* kBfsFallback = "router.bfs_fallback";
+
+// construction internals (node_disjoint_paths scratch path)
+inline constexpr const char* kFanSolve = "construct.fan_solve";
+
+// campaign / simulator trials
+inline constexpr const char* kCampaignRow = "campaign.row";
+inline constexpr const char* kCampaignTrial = "campaign.trial";
+inline constexpr const char* kSimRun = "sim.run";
+
+}  // namespace hhc::obs::stages

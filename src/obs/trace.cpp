@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "core/io.hpp"
+
+namespace hhc::obs {
+
+std::vector<TraceEvent> Tracer::drain() {
+  detail::TraceState& state = detail::trace_state();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard lock{state.mutex};
+    for (const auto& ring : state.rings) {
+      std::lock_guard ring_lock{ring->mutex};
+      events.insert(events.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& lhs, const TraceEvent& rhs) {
+              return lhs.start_nanos < rhs.start_nanos;
+            });
+  return events;
+}
+
+void Tracer::clear() {
+  detail::TraceState& state = detail::trace_state();
+  std::lock_guard lock{state.mutex};
+  for (const auto& ring : state.rings) ring->reset(state.capacity);
+}
+
+std::uint64_t Tracer::dropped() {
+  detail::TraceState& state = detail::trace_state();
+  std::uint64_t total = 0;
+  std::lock_guard lock{state.mutex};
+  for (const auto& ring : state.rings) {
+    std::lock_guard ring_lock{ring->mutex};
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events) {
+  core::JsonWriter json;
+  json.begin_object().key("traceEvents").begin_array();
+  for (const TraceEvent& event : events) {
+    json.begin_object()
+        .key("name").value(event.name)
+        .key("cat").value("hhc")
+        .key("ph").value("X")
+        .key("ts").value(static_cast<double>(event.start_nanos) / 1e3)
+        .key("dur").value(static_cast<double>(event.dur_nanos) / 1e3)
+        .key("pid").value(0)
+        .key("tid").value(static_cast<std::uint64_t>(event.tid))
+        .end_object();
+  }
+  json.end_array().key("displayTimeUnit").value("ms").end_object();
+  return json.str();
+}
+
+std::string to_trace_csv(const std::vector<TraceEvent>& events) {
+  std::string out = core::csv_row({"name", "tid", "start_us", "dur_us"}) + "\n";
+  for (const TraceEvent& event : events) {
+    out += core::csv_row(
+               {event.name, std::to_string(event.tid),
+                std::to_string(static_cast<double>(event.start_nanos) / 1e3),
+                std::to_string(static_cast<double>(event.dur_nanos) / 1e3)}) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace hhc::obs

@@ -1,0 +1,214 @@
+// Lightweight scoped tracing with per-thread ring buffers.
+//
+// A TraceSpan brackets one stage of work (cache lookup, construction,
+// fallback BFS, a campaign trial, ...). When tracing is DISABLED — the
+// default — constructing and destroying a span costs one relaxed atomic
+// load and a branch, so instrumentation stays resident on the hot query
+// path permanently (bench_query_throughput pins the overhead at < 2%).
+//
+// When ENABLED, each completed span appends one fixed-size event to the
+// calling thread's ring buffer: bounded capacity, drop-oldest, one
+// uncontended mutex lock per event (the ring is only ever contended by
+// drain()). Spans may nest freely; events carry wall-clock start/duration
+// so nesting is reconstructed by containment — including across
+// util::ThreadPool tasks, where a task's spans simply land on the worker
+// thread's ring under that worker's tid (see DESIGN.md).
+//
+// A span can also feed a per-stage obs::Histogram (in µs) so aggregate
+// stage latencies survive ring overflow; obs::stage_histogram(name) is the
+// conventional sink. Draining gathers every thread's events (sorted by
+// start time) for export as Chrome trace_event JSON (chrome://tracing,
+// https://ui.perfetto.dev) or CSV — exporters live in trace.cpp.
+//
+// Everything needed to RECORD is header-inline for the same layering
+// reason as metrics.hpp: hhc_core instruments itself without linking
+// hhc_obs; only exporters need the library.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hhc::obs {
+
+/// One completed span. `name` must point at a string with static storage
+/// duration (the stage constants in obs/stages.hpp); events store the
+/// pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_nanos = 0;  // since the enabling Tracer epoch
+  std::uint64_t dur_nanos = 0;
+  std::uint32_t tid = 0;  // dense per-thread id, assigned at first span
+};
+
+namespace detail {
+
+[[nodiscard]] inline std::uint64_t monotonic_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's bounded event buffer. Single hot writer (the owning
+/// thread); drain()/clear()/enable() synchronize through `mutex`.
+struct TraceRing {
+  explicit TraceRing(std::size_t cap, std::uint32_t id)
+      : capacity{cap}, tid{id} {
+    events.reserve(capacity);
+  }
+
+  void append(const TraceEvent& event) {
+    std::lock_guard lock{mutex};
+    if (events.size() < capacity) {
+      events.push_back(event);
+    } else if (capacity > 0) {
+      events[write] = event;  // overwrite the oldest
+      write = (write + 1) % capacity;
+      ++dropped;
+    }
+  }
+
+  void reset(std::size_t new_capacity) {
+    std::lock_guard lock{mutex};
+    capacity = new_capacity;
+    events.clear();
+    events.reserve(capacity);
+    write = 0;
+    dropped = 0;
+  }
+
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t capacity;
+  std::size_t write = 0;      // oldest slot once full
+  std::uint64_t dropped = 0;  // events overwritten since last reset
+  std::uint32_t tid;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch_nanos{0};
+  mutable std::mutex mutex;  // guards rings + capacity
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  std::size_t capacity = 1 << 13;  // events per thread
+  std::uint32_t next_tid = 0;
+};
+
+[[nodiscard]] inline TraceState& trace_state() {
+  static TraceState state;
+  return state;
+}
+
+/// This thread's ring, created and registered on first use. The registry
+/// holds a shared_ptr so events survive thread exit until the next
+/// clear()/enable().
+[[nodiscard]] inline TraceRing& thread_ring() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    TraceState& state = trace_state();
+    std::lock_guard lock{state.mutex};
+    auto created =
+        std::make_shared<TraceRing>(state.capacity, state.next_tid++);
+    state.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+}  // namespace detail
+
+/// Global switch + collection point for trace spans. All methods are
+/// static; thread-safe.
+class Tracer {
+ public:
+  /// True when spans are being recorded. THE hot-path check: one relaxed
+  /// atomic load.
+  [[nodiscard]] static bool enabled() noexcept {
+    return detail::trace_state().enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Starts (or restarts) collection: drops all previously buffered
+  /// events, resizes every thread's ring to `events_per_thread`, and
+  /// resets the trace epoch so new timestamps start near zero.
+  static void enable(std::size_t events_per_thread = 1 << 13) {
+    detail::TraceState& state = detail::trace_state();
+    std::lock_guard lock{state.mutex};
+    state.capacity = events_per_thread;
+    for (const auto& ring : state.rings) ring->reset(events_per_thread);
+    state.epoch_nanos.store(detail::monotonic_nanos(),
+                            std::memory_order_relaxed);
+    state.enabled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Stops recording; buffered events stay available to drain(). A span
+  /// already open when tracing flips off still records its event.
+  static void disable() noexcept {
+    detail::trace_state().enabled.store(false, std::memory_order_relaxed);
+  }
+
+  /// Copies out every buffered event across all threads, sorted by start
+  /// time. Safe while tracing is live (concurrent spans either make the
+  /// cut or the next drain). Does not clear the buffers.
+  [[nodiscard]] static std::vector<TraceEvent> drain();
+
+  /// Drops all buffered events and zeroes the drop counters.
+  static void clear();
+
+  /// Events lost to ring overflow since the last enable()/clear().
+  [[nodiscard]] static std::uint64_t dropped();
+};
+
+/// RAII span: times the enclosing scope and records it on destruction.
+/// `name` must have static storage duration. When `stage_hist` is non-null
+/// the duration (µs) is also recorded there — pass
+/// obs::stage_histogram(name), cached in a function-local static at the
+/// call site.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     Histogram* stage_hist = nullptr) noexcept {
+    if (!Tracer::enabled()) return;  // name_ stays null: disabled span
+    name_ = name;
+    hist_ = stage_hist;
+    start_ = detail::monotonic_nanos();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    const std::uint64_t end = detail::monotonic_nanos();
+    const std::uint64_t dur = end > start_ ? end - start_ : 0;
+    detail::TraceState& state = detail::trace_state();
+    const std::uint64_t epoch =
+        state.epoch_nanos.load(std::memory_order_relaxed);
+    detail::TraceRing& ring = detail::thread_ring();
+    ring.append(TraceEvent{name_, start_ > epoch ? start_ - epoch : 0, dur,
+                           ring.tid});
+    if (hist_ != nullptr) hist_->record(static_cast<double>(dur) / 1e3);
+  }
+
+ private:
+  const char* name_ = nullptr;
+  Histogram* hist_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+/// Chrome trace_event JSON ("X" complete events, ts/dur in µs): load the
+/// string into chrome://tracing or https://ui.perfetto.dev. pid is 0; tid
+/// is the dense per-thread id from the events.
+[[nodiscard]] std::string to_chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// name,tid,start_us,dur_us — one row per event, header included.
+[[nodiscard]] std::string to_trace_csv(const std::vector<TraceEvent>& events);
+
+}  // namespace hhc::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hhc::query {
@@ -20,6 +22,9 @@ PathService::PathService(const core::HhcTopology& net, PathServiceConfig config)
 }
 
 RouteResult PathService::answer(const PairQuery& query) {
+  static obs::Histogram& answer_hist =
+      obs::stage_histogram(obs::stages::kAnswer);
+  obs::TraceSpan span{obs::stages::kAnswer, &answer_hist};
   util::Stopwatch watch;
   RouteResult result = answer_impl(query);
   result.micros = watch.micros();
@@ -51,6 +56,9 @@ RouteView PathService::answer_view(const PairQuery& query) {
         "use answer())");
   }
 
+  static obs::Histogram& view_hist =
+      obs::stage_histogram(obs::stages::kAnswerView);
+  obs::TraceSpan span{obs::stages::kAnswerView, &view_hist};
   util::Stopwatch watch;
   RouteView view;
   view.level = DegradationLevel::kGuaranteed;

@@ -1,7 +1,5 @@
 #include "query/stats.hpp"
 
-#include <bit>
-#include <cmath>
 #include <ostream>
 
 #include "core/io.hpp"
@@ -11,60 +9,13 @@ namespace hhc::query {
 
 namespace {
 
-// Bucket index for a latency sample: 0 for < 1 µs, else 1 + floor(log2).
-std::size_t bucket_of(double micros) noexcept {
-  if (!(micros >= 1.0)) return 0;  // also catches NaN/negatives
-  const auto us = static_cast<std::uint64_t>(micros);
-  const auto width = static_cast<std::size_t>(std::bit_width(us));
-  return width < LatencyHistogram::kBuckets ? width
-                                            : LatencyHistogram::kBuckets - 1;
-}
-
-// Upper edge (µs) of bucket b: bucket 0 -> 1 µs, bucket b -> 2^b µs.
-double bucket_edge(std::size_t b) noexcept {
-  return std::ldexp(1.0, static_cast<int>(b));
+// Percentile for rendering: empty snapshots print 0 instead of throwing
+// (a freshly constructed service must still render a stats row).
+double pct(const LatencyHistogram::Snapshot& latency, double p) {
+  return latency.count == 0 ? 0.0 : latency.percentile(p);
 }
 
 }  // namespace
-
-void LatencyHistogram::record(double micros) noexcept {
-  buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
-  const auto nanos =
-      micros > 0.0 ? static_cast<std::uint64_t>(micros * 1e3) : 0u;
-  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
-  while (nanos > seen && !max_nanos_.compare_exchange_weak(
-                             seen, nanos, std::memory_order_relaxed)) {
-  }
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  Snapshot snap;
-  snap.buckets.resize(kBuckets);
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
-    snap.count += snap.buckets[b];
-  }
-  snap.max_micros =
-      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e3;
-  return snap;
-}
-
-void LatencyHistogram::reset() noexcept {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  max_nanos_.store(0, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::Snapshot::percentile(double p) const noexcept {
-  if (count == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(p * static_cast<double>(count)));
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    cumulative += buckets[b];
-    if (cumulative >= target) return bucket_edge(b);
-  }
-  return bucket_edge(buckets.size() - 1);
-}
 
 std::string ServiceStats::to_csv() const {
   std::string out =
@@ -88,9 +39,9 @@ std::string ServiceStats::to_csv() const {
               std::to_string(cache.evictions), std::to_string(queries),
               std::to_string(guaranteed), std::to_string(best_effort),
               std::to_string(disconnected), std::to_string(hit_rate()),
-              std::to_string(latency.percentile(0.50)),
-              std::to_string(latency.percentile(0.90)),
-              std::to_string(latency.percentile(0.99)),
+              std::to_string(pct(latency, 0.50)),
+              std::to_string(pct(latency, 0.90)),
+              std::to_string(pct(latency, 0.99)),
               std::to_string(latency.max_micros)}) +
          "\n";
   return out;
@@ -123,9 +74,9 @@ std::string ServiceStats::to_json() const {
   json.end_array().end_object()
       .key("latency_us").begin_object()
       .key("count").value(latency.count)
-      .key("p50").value(latency.percentile(0.50))
-      .key("p90").value(latency.percentile(0.90))
-      .key("p99").value(latency.percentile(0.99))
+      .key("p50").value(pct(latency, 0.50))
+      .key("p90").value(pct(latency, 0.90))
+      .key("p99").value(pct(latency, 0.99))
       .key("max").value(latency.max_micros)
       .key("buckets").begin_array();
   for (const std::uint64_t count : latency.buckets) json.value(count);
@@ -145,8 +96,8 @@ void ServiceStats::print(std::ostream& os) const {
       .add(100.0 * hit_rate(), 1)
       .add(static_cast<std::uint64_t>(cache.entries))
       .add(static_cast<std::uint64_t>(cache.evictions))
-      .add(latency.percentile(0.50), 1)
-      .add(latency.percentile(0.99), 1)
+      .add(pct(latency, 0.50), 1)
+      .add(pct(latency, 0.99), 1)
       .add(latency.max_micros, 1);
   table.print(os, "path service: " + std::to_string(cache.shards.size()) +
                       " cache shards, " + std::to_string(pristine) +

@@ -1,11 +1,17 @@
 // Built-in observability for the path-query engine.
 //
-// LatencyHistogram is a fixed array of lock-free power-of-two microsecond
-// buckets (bucket b counts latencies in [2^(b-1), 2^b) µs, bucket 0 the
-// sub-microsecond ones), so recording on the hot query path is one relaxed
-// fetch_add and never blocks a concurrent reader. Percentiles are read off
-// the bucket boundaries — upper edge, i.e. conservative — which is the
-// right fidelity for "is p99 a microsecond or a millisecond" dashboards.
+// LatencyHistogram is now a thin microsecond-flavored wrapper over
+// obs::Histogram (the process-wide metrics layer grew out of it): a fixed
+// array of lock-free power-of-two microsecond buckets (bucket b counts
+// latencies in [2^(b-1), 2^b) µs, bucket 0 the sub-microsecond ones), so
+// recording on the hot query path is one relaxed fetch_add and never blocks
+// a concurrent reader. Percentiles are read off the bucket boundaries —
+// upper edge, i.e. conservative — which is the right fidelity for "is p99 a
+// microsecond or a millisecond" dashboards. Percentile error semantics
+// match sim::percentile: out-of-range p or an empty snapshot THROW
+// std::invalid_argument (callers render "0" for empty snapshots
+// explicitly), and p = 0 reports the first non-empty bucket's edge instead
+// of a phantom 1 µs.
 //
 // ServiceStats is the plain-data snapshot PathService::stats() returns:
 // query/level totals, the cache's per-shard counters, and the latency
@@ -13,20 +19,19 @@
 // so service telemetry lands in the same formats as campaign reports.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/container_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace hhc::query {
 
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 40;
+  static constexpr std::size_t kBuckets = obs::Histogram::kBuckets;
 
   struct Snapshot {
     std::vector<std::uint64_t> buckets;  // kBuckets power-of-two µs bins
@@ -34,20 +39,26 @@ class LatencyHistogram {
     double max_micros = 0.0;
 
     /// Upper bucket edge (µs) below which a `p` fraction of samples fall;
-    /// 0 when empty. p in [0, 1].
-    [[nodiscard]] double percentile(double p) const noexcept;
+    /// p = 0 is the first non-empty bucket's edge. Throws
+    /// std::invalid_argument when the snapshot is empty or p is outside
+    /// [0, 1] — same contract as sim::percentile.
+    [[nodiscard]] double percentile(double p) const {
+      return obs::bucket_percentile(buckets, count, p);
+    }
   };
 
-  /// Thread-safe, wait-free; negative samples clamp to bucket 0.
-  void record(double micros) noexcept;
+  /// Thread-safe, wait-free; NaN/negative samples clamp to bucket 0.
+  void record(double micros) noexcept { histogram_.record(micros); }
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const {
+    obs::Histogram::Snapshot snap = histogram_.snapshot();
+    return Snapshot{std::move(snap.buckets), snap.count, snap.max_value};
+  }
 
-  void reset() noexcept;
+  void reset() noexcept { histogram_.reset(); }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> max_nanos_{0};
+  obs::Histogram histogram_;
 };
 
 /// Point-in-time service telemetry; see PathService::stats().

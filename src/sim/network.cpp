@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/routing.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "util/bitops.hpp"
 
 namespace hhc::sim {
@@ -50,6 +52,8 @@ std::uint64_t NetworkSimulator::inject(core::Path route, std::uint64_t time) {
 }
 
 SimReport NetworkSimulator::run(std::uint64_t max_cycles) {
+  static obs::Histogram& run_hist = obs::stage_histogram(obs::stages::kSimRun);
+  obs::TraceSpan trace_span{obs::stages::kSimRun, &run_hist};
   // Directed link key encoded as (from, output port): port = internal
   // dimension for cluster edges, m for the external edge. Exact and
   // collision-free for every m (from * (m+1) + port < 2^37 * 6 < 2^40).

@@ -1,0 +1,194 @@
+// The scoped-tracing machinery: disabled spans record nothing, enabled
+// spans land on per-thread rings (bounded, drop-oldest), drains merge and
+// sort across threads, and the Chrome exporter emits the structure
+// chrome://tracing expects. The multi-thread tests run under
+// ThreadSanitizer in CI. All tests share the process-global Tracer, so
+// each one starts with enable() (which drops prior events) and ends
+// disabled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hhc::obs {
+namespace {
+
+class ObsTrace : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::disable();
+    Tracer::clear();
+  }
+};
+
+TEST_F(ObsTrace, DisabledSpansRecordNothing) {
+  Tracer::enable();
+  Tracer::disable();
+  Tracer::clear();
+  { TraceSpan span{"quiet"}; }
+  EXPECT_TRUE(Tracer::drain().empty());
+  EXPECT_EQ(Tracer::dropped(), 0u);
+}
+
+TEST_F(ObsTrace, EnabledSpanRecordsNameAndDuration) {
+  Tracer::enable();
+  {
+    TraceSpan span{"work"};
+  }
+  Tracer::disable();
+  const auto events = Tracer::drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+}
+
+TEST_F(ObsTrace, NestedSpansAreContained) {
+  Tracer::enable();
+  {
+    TraceSpan outer{"outer"};
+    { TraceSpan inner{"inner"}; }
+  }
+  Tracer::disable();
+  auto events = Tracer::drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it appears first only after sorting by start;
+  // find each by name instead of relying on order.
+  const auto by_name = [&](const char* name) {
+    return std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+      return std::string{e.name} == name;
+    });
+  };
+  const auto outer = by_name("outer");
+  const auto inner = by_name("inner");
+  ASSERT_NE(outer, events.end());
+  ASSERT_NE(inner, events.end());
+  EXPECT_GE(inner->start_nanos, outer->start_nanos);
+  EXPECT_LE(inner->start_nanos + inner->dur_nanos,
+            outer->start_nanos + outer->dur_nanos);
+}
+
+TEST_F(ObsTrace, RingDropsOldestWhenFull) {
+  Tracer::enable(/*events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span{"s"};
+  }
+  Tracer::disable();
+  EXPECT_EQ(Tracer::drain().size(), 4u);
+  EXPECT_EQ(Tracer::dropped(), 6u);
+
+  // The survivors are the NEWEST events: their start times must all be at
+  // or after every dropped one's — verified by re-filling with two phases.
+  Tracer::enable(/*events_per_thread=*/2);
+  { TraceSpan span{"old"}; }
+  { TraceSpan span{"old"}; }
+  { TraceSpan span{"new"}; }
+  { TraceSpan span{"new"}; }
+  Tracer::disable();
+  const auto events = Tracer::drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "new");
+  EXPECT_STREQ(events[1].name, "new");
+}
+
+TEST_F(ObsTrace, EnableResetsBufferedEventsAndEpoch) {
+  Tracer::enable();
+  { TraceSpan span{"before"}; }
+  Tracer::enable();  // restart: drops "before"
+  { TraceSpan span{"after"}; }
+  Tracer::disable();
+  const auto events = Tracer::drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST_F(ObsTrace, ThreadsGetDistinctTids) {
+  constexpr std::size_t kThreads = 4;
+  Tracer::enable();
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int j = 0; j < 50; ++j) {
+        TraceSpan span{"worker"};
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::disable();
+
+  const auto events = Tracer::drain();
+  EXPECT_EQ(events.size(), kThreads * 50);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), kThreads);
+
+  // Drains are sorted by start time across all rings.
+  const bool sorted = std::is_sorted(
+      events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+        return a.start_nanos < b.start_nanos;
+      });
+  EXPECT_TRUE(sorted);
+}
+
+TEST_F(ObsTrace, SpanFeedsStageHistogram) {
+  Histogram hist;
+  Tracer::enable();
+  {
+    TraceSpan span{"timed", &hist};
+  }
+  Tracer::disable();
+  EXPECT_EQ(hist.snapshot().count, 1u);
+
+  // Disabled spans must not touch the histogram either.
+  {
+    TraceSpan span{"timed", &hist};
+  }
+  EXPECT_EQ(hist.snapshot().count, 1u);
+}
+
+TEST_F(ObsTrace, ChromeExportShapesEvents) {
+  Tracer::enable();
+  { TraceSpan span{"alpha"}; }
+  { TraceSpan span{"beta"}; }
+  Tracer::disable();
+  const auto events = Tracer::drain();
+  const std::string json = to_chrome_trace_json(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+
+  const std::string csv = to_trace_csv(events);
+  EXPECT_NE(csv.find("name,tid,start_us,dur_us"), std::string::npos);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+}
+
+TEST_F(ObsTrace, ConcurrentSpansWhileDraining) {
+  constexpr std::size_t kThreads = 4;
+  Tracer::enable(/*events_per_thread=*/256);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceSpan span{"hot"};
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto events = Tracer::drain();
+    EXPECT_LE(events.size(), kThreads * 256 + kThreads);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  Tracer::disable();
+}
+
+}  // namespace
+}  // namespace hhc::obs

@@ -161,6 +161,54 @@ TEST(PathService, StatsCountQueriesLevelsAndLatency) {
   EXPECT_EQ(stats.cache.hits + stats.cache.misses, 41u);
 }
 
+TEST(LatencyHistogram, PercentileSkipsEmptyLeadingBuckets) {
+  // The pre-obs implementation computed target = ceil(p * count), which is
+  // 0 at p = 0 — "satisfied" by the empty bucket 0, reporting a phantom
+  // 1µs. The rewrapped histogram skips empty leading buckets.
+  LatencyHistogram latency;
+  latency.record(100.0);  // bucket [64, 128)
+  const auto snap = latency.snapshot();
+  EXPECT_EQ(snap.percentile(0.0), 128.0);
+  EXPECT_EQ(snap.percentile(1.0), 128.0);
+}
+
+TEST(LatencyHistogram, ErrorSemanticsMatchSimPercentile) {
+  LatencyHistogram latency;
+  // Empty histograms and out-of-range p throw, exactly like
+  // sim::percentile, instead of silently returning a bogus 0 or 1.
+  EXPECT_THROW((void)latency.snapshot().percentile(0.5),
+               std::invalid_argument);
+  latency.record(1.0);
+  const auto snap = latency.snapshot();
+  EXPECT_THROW((void)snap.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)snap.percentile(1.5), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, SubMicrosecondAndHugeSamples) {
+  LatencyHistogram latency;
+  latency.record(0.25);   // bucket 0
+  latency.record(-3.0);   // clamps to bucket 0, ignored for max
+  latency.record(1e30);   // saturates the top bucket
+  const auto snap = latency.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets.front(), 2u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  EXPECT_EQ(snap.max_micros, 1e30);
+  EXPECT_EQ(snap.percentile(0.5), 1.0);  // bucket 0's upper edge
+}
+
+TEST(PathService, EmptyStatsRenderWithoutThrowing) {
+  // A service that has answered nothing must still render: the CSV/JSON/
+  // table emitters substitute 0 for percentiles of an empty histogram
+  // rather than tripping its empty-throw contract.
+  const HhcTopology net{2};
+  const PathService service{net};
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.latency.count, 0u);
+  EXPECT_NE(stats.to_csv().find("total"), std::string::npos);
+  EXPECT_NE(stats.to_json().find("\"queries\":0"), std::string::npos);
+}
+
 TEST(PathService, StatsResetKeepsCacheContents) {
   const HhcTopology net{2};
   PathService service{net};
