@@ -1,18 +1,142 @@
 // Experiment F6 — latency vs offered load (the classic saturation curve).
 //
-// Uniform random traffic is injected over a fixed horizon at increasing
-// rates; the simulator's single-packet-per-link-per-cycle contention model
-// produces the textbook hockey stick: flat latency up to saturation, then
-// queueing blow-up. Reported for the HHC at m = 3 (2048 nodes).
+// Part 1: uniform random traffic is injected over a fixed horizon at
+// increasing rates; the simulator's single-packet-per-link-per-cycle
+// contention model produces the textbook hockey stick: flat latency up to
+// saturation, then queueing blow-up. Reported for the HHC at m = 3 (2048
+// nodes).
+//
+// Part 2 (overload sweep): the same question asked of the QUERY ENGINE
+// instead of the packet network. Offered load is swept past the service's
+// capacity with admission control and per-query deadlines armed; reported
+// per level: goodput (authoritative answers per second), p99 latency, and
+// the shed rate. A healthy overload posture keeps p99 bounded and goodput
+// flat past saturation while the shed rate absorbs the excess — the
+// unhealthy alternative (unbounded queueing) shows up as p99 blowing up
+// instead. The sweep is appended to BENCH_query.json next to
+// bench_query_throughput's output so both engine-level curves live in one
+// machine-readable file.
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
 
+#include "core/io.hpp"
 #include "core/routing.hpp"
 #include "sim/network.hpp"
+#include "sim/soak.hpp"
 #include "sim/traffic.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+struct OverloadRow {
+  std::size_t offered_per_epoch = 0;
+  std::size_t offered = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;       // door + service sheds
+  std::size_t timed_out = 0;
+  double goodput_qps = 0.0;   // authoritative answers per second
+  double p99_us = 0.0;        // worst per-epoch p99
+  double shed_rate = 0.0;
+};
+
+OverloadRow run_level(std::size_t offered_per_epoch, std::size_t epochs) {
+  hhc::sim::SoakConfig config;
+  config.m = 2;
+  config.epochs = epochs;
+  config.queries_per_epoch = offered_per_epoch;
+  config.workers = 4;
+  config.max_queued = 512;
+  config.deadline_us = 2000.0;
+  config.fault_rate = 0.5;
+  config.seed = 99;
+  config.admission.max_in_flight = 8;
+  config.admission.policy = hhc::query::AdmissionPolicy::kQueue;
+  const hhc::sim::SoakReport report = hhc::sim::run_soak(config);
+
+  OverloadRow row;
+  row.offered_per_epoch = offered_per_epoch;
+  row.offered = report.offered;
+  row.ok = report.ok;
+  row.shed = report.shed + report.door_shed;
+  row.timed_out = report.timed_out;
+  row.goodput_qps = report.wall_seconds > 0.0
+                        ? static_cast<double>(report.ok) / report.wall_seconds
+                        : 0.0;
+  for (const auto& epoch : report.epochs) {
+    if (epoch.p99_us > row.p99_us) row.p99_us = epoch.p99_us;
+  }
+  row.shed_rate = report.offered > 0
+                      ? static_cast<double>(row.shed) /
+                            static_cast<double>(report.offered)
+                      : 0.0;
+  return row;
+}
+
+// The sweep rows as the inner fragment `"overload_sweep":[...]` (no outer
+// braces), ready to splice into an existing JSON object.
+std::string sweep_fragment(const std::vector<OverloadRow>& rows) {
+  hhc::core::JsonWriter json;
+  json.begin_object();
+  json.key("overload_sweep").begin_array();
+  for (const OverloadRow& row : rows) {
+    json.begin_object();
+    json.key("offered_per_epoch").value(std::uint64_t{row.offered_per_epoch});
+    json.key("offered").value(std::uint64_t{row.offered});
+    json.key("ok").value(std::uint64_t{row.ok});
+    json.key("shed").value(std::uint64_t{row.shed});
+    json.key("timed_out").value(std::uint64_t{row.timed_out});
+    json.key("goodput_qps").value(row.goodput_qps);
+    json.key("p99_us").value(row.p99_us);
+    json.key("shed_rate").value(row.shed_rate);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::string doc = json.str();
+  return doc.substr(1, doc.size() - 2);  // strip the outer { }
+}
+
+// Splices the sweep into BENCH_query.json beside bench_query_throughput's
+// fields (replacing any sweep from an earlier run); starts a fresh document
+// when the file is absent or unusable. String surgery, not parsing — the
+// repo has no JSON reader and the file is a single flat object.
+void merge_into_bench_query(const std::string& fragment) {
+  std::string doc;
+  {
+    std::ifstream in{"BENCH_query.json"};
+    doc.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+  }
+  while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+    doc.pop_back();
+  }
+  const std::string::size_type old_sweep = doc.find(",\"overload_sweep\"");
+  if (old_sweep != std::string::npos) {
+    doc.erase(old_sweep);  // drops the old sweep and the closing brace
+  } else if (!doc.empty() && doc.back() == '}') {
+    doc.pop_back();
+  } else {
+    doc = "{\"bench\":\"load_latency\"";
+  }
+  doc += ',' + fragment + '}';
+  std::ofstream out{"BENCH_query.json"};
+  out << doc << '\n';
+  std::cout << "wrote overload sweep into BENCH_query.json\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace hhc;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   const core::HhcTopology net{3};
   constexpr std::uint64_t kHorizon = 100;
 
@@ -40,6 +164,36 @@ int main() {
               "traffic over 100 cycles");
   std::cout << "\nExpected shape: p50 stays near the average route length at "
                "low load; the tail\n(p95/max) grows once per-link contention "
-               "sets in — the saturation hockey stick.\n";
+               "sets in — the saturation hockey stick.\n\n";
+
+  // Part 2: the query-engine overload sweep.
+  const std::size_t epochs = smoke ? 2 : 4;
+  std::vector<std::size_t> levels{256, 1024, 4096};
+  if (!smoke) levels.push_back(16384);
+
+  std::vector<OverloadRow> rows;
+  util::Table sweep{{"offered/epoch", "offered", "ok", "shed", "timed-out",
+                     "goodput q/s", "p99 us", "shed rate"}};
+  for (const std::size_t level : levels) {
+    const OverloadRow row = run_level(level, epochs);
+    sweep.row()
+        .add(std::uint64_t{row.offered_per_epoch})
+        .add(std::uint64_t{row.offered})
+        .add(std::uint64_t{row.ok})
+        .add(std::uint64_t{row.shed})
+        .add(std::uint64_t{row.timed_out})
+        .add(row.goodput_qps, 0)
+        .add(row.p99_us, 1)
+        .add(row.shed_rate, 3);
+    rows.push_back(row);
+  }
+  sweep.print(std::cout,
+              "F6b (m=2): query-engine overload sweep — admission-gated "
+              "service, 2 ms deadlines");
+  std::cout << "\nExpected shape: goodput plateaus at service capacity while "
+               "the shed rate rises\nwith offered load; p99 stays bounded by "
+               "the deadline instead of blowing up.\n";
+
+  merge_into_bench_query(sweep_fragment(rows));
   return 0;
 }

@@ -7,6 +7,7 @@
 //   hhc_tool broadcast --m 2 --root 0
 //   hhc_tool dot       --m 2
 //   hhc_tool trace     --m 3 --queries 200 --fault-queries 50 --out trace.json
+//   hhc_tool soak      --m 2 --epochs 8 --load 256 --fault-rate 0.5 --seed 1
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -24,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "query/path_service.hpp"
+#include "sim/soak.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -214,6 +216,58 @@ int cmd_trace(const util::Options& opts) {
   return 0;
 }
 
+// Replays the chaos/soak harness: open-loop traffic with deadlines and
+// admission control over an evolving fault schedule, reported per epoch.
+int cmd_soak(const util::Options& opts) {
+  sim::SoakConfig config;
+  config.m = static_cast<unsigned>(opts.get_int("m", 2));
+  config.epochs = static_cast<std::size_t>(opts.get_int("epochs", 8));
+  config.queries_per_epoch =
+      static_cast<std::size_t>(opts.get_int("load", 256));
+  config.hostile_per_epoch =
+      static_cast<std::size_t>(opts.get_int("hostile", 4));
+  config.workers = static_cast<std::size_t>(opts.get_int("workers", 4));
+  config.max_queued = static_cast<std::size_t>(opts.get_int("max-queued", 64));
+  config.deadline_us = opts.get_double("deadline-us", 2000.0);
+  config.fault_rate = opts.get_double("fault-rate", 0.5);
+  config.faults_per_burst =
+      static_cast<std::size_t>(opts.get_int("burst", 2));
+  config.repair_after =
+      static_cast<std::uint64_t>(opts.get_int("repair-after", 1));
+  config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  config.admission.max_in_flight =
+      static_cast<std::size_t>(opts.get_int("max-in-flight", 8));
+  config.admission.breaker_threshold =
+      static_cast<std::size_t>(opts.get_int("breaker", 3));
+  const std::string policy = opts.get("policy", "queue");
+  if (policy == "reject") {
+    config.admission.policy = query::AdmissionPolicy::kReject;
+  } else if (policy == "queue") {
+    config.admission.policy = query::AdmissionPolicy::kQueue;
+  } else if (policy == "degrade") {
+    config.admission.policy = query::AdmissionPolicy::kDegrade;
+  } else {
+    std::fprintf(stderr, "unknown --policy %s (reject|queue|degrade)\n",
+                 policy.c_str());
+    return 1;
+  }
+
+  const sim::SoakReport report = sim::run_soak(config);
+  const std::string format = opts.get("format", "table");
+  if (format == "csv") {
+    std::cout << report.to_csv() << '\n';
+  } else if (format == "json") {
+    std::cout << report.to_json() << '\n';
+  } else if (format == "table") {
+    report.print(std::cout);
+  } else {
+    std::fprintf(stderr, "unknown --format %s (table|csv|json)\n",
+                 format.c_str());
+    return 1;
+  }
+  return report.stuck == 0 ? 0 : 1;
+}
+
 void usage() {
   std::puts(
       "hhc_tool <command> [--option value]...\n"
@@ -226,7 +280,13 @@ void usage() {
       "  dot        whole network as Graphviz (--m, m <= 2)\n"
       "  trace      Chrome trace of a query batch\n"
       "             (--m --queries --fault-queries --count --seed --out\n"
-      "              [--csv file] [--ring events-per-thread])");
+      "              [--csv file] [--ring events-per-thread])\n"
+      "  soak       chaos/soak run: deadlines + admission over evolving "
+      "faults\n"
+      "             (--m --epochs --load --hostile --workers --max-queued\n"
+      "              --deadline-us --fault-rate --burst --repair-after --seed\n"
+      "              --max-in-flight --breaker --policy reject|queue|degrade\n"
+      "              --format table|csv|json)");
 }
 
 }  // namespace
@@ -246,6 +306,7 @@ int main(int argc, char** argv) try {
   if (command == "broadcast") return cmd_broadcast(opts);
   if (command == "dot") return cmd_dot(opts);
   if (command == "trace") return cmd_trace(opts);
+  if (command == "soak") return cmd_soak(opts);
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   usage();
   return 1;

@@ -75,13 +75,25 @@ void select_survivor(const View& view, const FaultModel& faults,
 }
 
 // BFS over the implicit topology restricted to usable edges; empty when t
-// is unreachable. Parent map doubles as the visited set.
+// is unreachable. Parent map doubles as the visited set. Cooperatively
+// cancellable: every util::kStopCheckStride expansions the query's
+// deadline/token are polled, and an expired search sets `timed_out` and
+// returns empty — a hostile fault set can make this sweep visit the whole
+// survivor subgraph, which is exactly the stage a deadline must be able to
+// interrupt.
 Path survivor_bfs(const core::HhcTopology& net, Node s, Node t,
-                  const FaultModel& faults, std::uint64_t time) {
+                  const FaultModel& faults, std::uint64_t time,
+                  const query::PairQuery& query, bool& timed_out) {
   std::unordered_map<Node, Node> parent;
   parent.emplace(s, s);
   std::deque<Node> frontier{s};
+  std::size_t expansions = 0;
   while (!frontier.empty()) {
+    if (++expansions % util::kStopCheckStride == 0 &&
+        util::should_stop(query.deadline, query.cancel)) {
+      timed_out = true;
+      return {};
+    }
     const Node u = frontier.front();
     frontier.pop_front();
     for (const Node v : net.neighbors(u)) {
@@ -102,7 +114,8 @@ Path survivor_bfs(const core::HhcTopology& net, Node s, Node t,
 
 }  // namespace
 
-query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
+query::RouteResult AdaptiveRouter::route(const query::PairQuery& query,
+                                         const RouteLimits& limits) const {
   static const FaultModel kNoFaults;
   const FaultModel& faults = query.faults != nullptr ? *query.faults : kNoFaults;
   const Node s = query.s;
@@ -116,6 +129,13 @@ query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
   if (s == t) {
     result.paths = {Path{s}};
     result.level = DegradationLevel::kGuaranteed;
+    return result;
+  }
+
+  // Stage boundary: an already-expired query must not pay for a container
+  // lookup (which may run the whole construction on a cache miss).
+  if (util::should_stop(query.deadline, query.cancel)) {
+    result.outcome = query::RouteOutcome::kTimedOut;
     return result;
   }
 
@@ -135,11 +155,29 @@ query::RouteResult AdaptiveRouter::route(const query::PairQuery& query) const {
   }
   if (!result.paths.empty()) return result;
 
+  // Degraded admission: the scan found no survivor and the service told us
+  // the BFS sweep is too expensive right now. The kDisconnected verdict is
+  // best-effort, so the outcome says kShed, not kOk.
+  if (limits.skip_fallback) {
+    result.outcome = query::RouteOutcome::kShed;
+    return result;
+  }
+  // Stage boundary before committing a worker to the survivor sweep.
+  if (util::should_stop(query.deadline, query.cancel)) {
+    result.outcome = query::RouteOutcome::kTimedOut;
+    return result;
+  }
+
   result.used_fallback = true;
   static obs::Histogram& fallback_hist =
       obs::stage_histogram(obs::stages::kBfsFallback);
   obs::TraceSpan span{obs::stages::kBfsFallback, &fallback_hist};
-  Path detour = survivor_bfs(net_, s, t, faults, query.time);
+  bool timed_out = false;
+  Path detour = survivor_bfs(net_, s, t, faults, query.time, query, timed_out);
+  if (timed_out) {
+    result.outcome = query::RouteOutcome::kTimedOut;
+    return result;
+  }
   result.level = detour.empty() ? DegradationLevel::kDisconnected
                                 : DegradationLevel::kBestEffort;
   if (!detour.empty()) result.paths.push_back(std::move(detour));

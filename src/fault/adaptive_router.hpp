@@ -47,12 +47,29 @@ class AdaptiveRouter {
                           core::ContainerCache* cache = nullptr)
       : net_{net}, cache_{cache} {}
 
+  /// Knobs the admission layer threads through: a degraded route skips the
+  /// survivor-subgraph BFS fallback entirely (the expensive stage under
+  /// hostile fault sets) and reports outcome kShed when the container scan
+  /// alone could not deliver — that kDisconnected is NOT authoritative.
+  struct RouteLimits {
+    bool skip_fallback = false;
+  };
+
   /// Routes query.s -> query.t around the faults in query.faults (treated
   /// as fault-free when null) at instant query.time. Never throws on
   /// blocked or faulty-endpoint inputs — a faulty endpoint is reported as
   /// kDisconnected, which is what it means operationally. The result holds
   /// at most one path: the delivered route.
-  [[nodiscard]] query::RouteResult route(const query::PairQuery& query) const;
+  ///
+  /// Cooperative cancellation: query.deadline / query.cancel are checked at
+  /// each stage boundary and every util::kStopCheckStride expansions inside
+  /// the BFS loop; an expired query returns outcome kTimedOut with whatever
+  /// container-scan detail was already gathered.
+  [[nodiscard]] query::RouteResult route(const query::PairQuery& query) const {
+    return route(query, RouteLimits{});
+  }
+  [[nodiscard]] query::RouteResult route(const query::PairQuery& query,
+                                         const RouteLimits& limits) const;
 
   /// Convenience wrapper for direct fault-layer callers.
   [[nodiscard]] query::RouteResult route(core::Node s, core::Node t,

@@ -11,6 +11,23 @@ namespace hhc::obs::stages {
 inline constexpr const char* kAnswer = "query.answer";
 inline constexpr const char* kAnswerView = "query.answer_view";
 
+// per-outcome answer latency (overload robustness layer); the .ok histogram
+// is the production latency, the others show what shed/expired work cost
+// before it was abandoned.
+inline constexpr const char* kAnswerOk = "query.answer.ok";
+inline constexpr const char* kAnswerTimedOut = "query.answer.timed_out";
+inline constexpr const char* kAnswerShed = "query.answer.shed";
+
+// overload decision counters (obs::MetricRegistry counters, not spans)
+inline constexpr const char* kShedCount = "query.shed";
+inline constexpr const char* kTimedOutCount = "query.timed_out";
+inline constexpr const char* kInvalidCount = "query.invalid";
+inline constexpr const char* kDegradedAdmissionCount =
+    "query.degraded_admission";
+inline constexpr const char* kBreakerShortCircuitCount =
+    "query.breaker_short_circuit";
+inline constexpr const char* kBreakerTripCount = "query.breaker_trips";
+
 // container cache (the pristine fast path's two stages)
 inline constexpr const char* kCacheLookup = "query.cache_lookup";
 inline constexpr const char* kConstruct = "query.construct";

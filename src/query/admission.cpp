@@ -1,0 +1,116 @@
+#include "query/admission.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+
+namespace hhc::query {
+
+AdmissionVerdict AdmissionGate::admit(const util::Deadline& deadline,
+                                      const util::CancellationToken* cancel) {
+  // A latency overload degrades every policy: queueing behind an already
+  // slow service only makes the smoothed latency worse, so the right
+  // response is to shed the expensive work, not to wait.
+  const bool overload = overloaded();
+
+  if (config_.max_in_flight == 0) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return overload ? AdmissionVerdict::kAdmittedDegraded
+                    : AdmissionVerdict::kAdmitted;
+  }
+
+  // Optimistically claim a slot; back out if that overshot the bound.
+  if (in_flight_.fetch_add(1, std::memory_order_acquire) <
+      config_.max_in_flight) {
+    return overload ? AdmissionVerdict::kAdmittedDegraded
+                    : AdmissionVerdict::kAdmitted;
+  }
+  in_flight_.fetch_sub(1, std::memory_order_release);
+
+  switch (config_.policy) {
+    case AdmissionPolicy::kReject:
+      return AdmissionVerdict::kShed;
+    case AdmissionPolicy::kDegrade:
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      return AdmissionVerdict::kAdmittedDegraded;
+    case AdmissionPolicy::kQueue:
+      break;
+  }
+
+  // Queue-with-deadline: wait for a slot, polling the deadline/token. The
+  // condvar wakes on release(); the bounded wait keeps a cancelled or
+  // expired waiter from sleeping forever even if no slot ever frees.
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    if (util::should_stop(deadline, cancel)) {
+      return AdmissionVerdict::kTimedOut;
+    }
+    std::size_t occupied = in_flight_.load(std::memory_order_relaxed);
+    if (occupied < config_.max_in_flight &&
+        in_flight_.compare_exchange_strong(occupied, occupied + 1,
+                                           std::memory_order_acquire)) {
+      return overloaded() ? AdmissionVerdict::kAdmittedDegraded
+                          : AdmissionVerdict::kAdmitted;
+    }
+    slot_free_.wait_for(lock, std::chrono::microseconds{200});
+  }
+}
+
+void AdmissionGate::release() noexcept {
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  if (config_.max_in_flight != 0 &&
+      config_.policy == AdmissionPolicy::kQueue) {
+    slot_free_.notify_one();
+  }
+}
+
+void AdmissionGate::record_latency(double micros) noexcept {
+  if (!(micros >= 0.0)) return;  // NaN/negative samples carry no signal
+  const double alpha = config_.ewma_alpha;
+  double seen = ewma_us_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next =
+        seen == 0.0 ? micros : (1.0 - alpha) * seen + alpha * micros;
+    if (ewma_us_.compare_exchange_weak(seen, next,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool CircuitBreaker::should_short_circuit(core::Node s, core::Node t,
+                                          std::uint64_t epoch) {
+  if (threshold_ == 0) return false;
+  std::lock_guard lock{mutex_};
+  auto it = entries_.find(PairKey{s, t});
+  if (it == entries_.end()) return false;
+  if (it->second.epoch != epoch) {
+    // The fault landscape changed since this entry was written: reset it
+    // lazily instead of sweeping the whole map on every epoch advance.
+    it->second = Entry{.epoch = epoch};
+    return false;
+  }
+  return it->second.open;
+}
+
+void CircuitBreaker::record(core::Node s, core::Node t, std::uint64_t epoch,
+                            bool disconnected) {
+  if (threshold_ == 0) return;
+  std::lock_guard lock{mutex_};
+  Entry& entry = entries_[PairKey{s, t}];
+  if (entry.epoch != epoch) entry = Entry{.epoch = epoch};
+  if (!disconnected) {
+    entry.streak = 0;
+    entry.open = false;
+    return;
+  }
+  if (entry.open) return;  // already open; nothing to count
+  if (++entry.streak >= threshold_) {
+    entry.open = true;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& trips =
+        obs::MetricRegistry::global().counter(obs::stages::kBreakerTripCount);
+    trips.inc();
+  }
+}
+
+}  // namespace hhc::query

@@ -1,0 +1,189 @@
+// Admission control, overload detection, and circuit breaking for the
+// path-query engine.
+//
+// Three cooperating mechanisms keep PathService answering within bounded
+// time when offered load exceeds capacity, instead of queueing without
+// limit or parking workers in expensive fallbacks:
+//
+//   AdmissionGate    a bounded in-flight limit with a configurable response
+//                    when the bound is hit: reject (shed immediately),
+//                    queue-with-deadline (wait for a slot, bounded by the
+//                    query's deadline), or degrade (admit, but flag the
+//                    query so the expensive fault-aware BFS fallback is
+//                    skipped and the answer is best-effort).
+//   EWMA detector    an exponentially weighted moving average of answer
+//                    latency, folded into the gate: when the smoothed
+//                    latency crosses the configured threshold the service
+//                    is "overloaded" and admissions degrade regardless of
+//                    in-flight occupancy (waiting in a queue cannot fix a
+//                    latency overload — shedding work can).
+//   CircuitBreaker   a per-fault-epoch memory of repeatedly-disconnected
+//                    pairs: once a pair reports kDisconnected `threshold`
+//                    consecutive times within one fault epoch, further
+//                    queries for it short-circuit to an immediate shed
+//                    until the epoch advances (i.e. the fault landscape
+//                    changes), sparing the survivor-subgraph BFS the
+//                    hopeless full-graph sweeps that make hostile fault
+//                    sets so expensive.
+//
+// All three are policy ONLY — they never alter the bits of an answer that
+// is delivered with RouteOutcome::kOk. With the default config (no limit,
+// no threshold, no breaker) every mechanism is inert and the service
+// behaves exactly as it did before this layer existed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/topology.hpp"
+#include "util/deadline.hpp"
+
+namespace hhc::query {
+
+/// What the gate does when the in-flight bound is reached.
+enum class AdmissionPolicy {
+  kReject,   // shed the query immediately (outcome kShed)
+  kQueue,    // wait for a slot; the query's deadline bounds the wait
+  kDegrade,  // admit anyway, but skip the expensive fault-aware fallback
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionPolicy p) noexcept {
+  switch (p) {
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kQueue: return "queue";
+    case AdmissionPolicy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+struct AdmissionConfig {
+  /// Concurrent in-flight answer() bound; 0 = unlimited (gate inert).
+  std::size_t max_in_flight = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+  /// EWMA smoothing factor in (0, 1]; the weight of the newest sample.
+  double ewma_alpha = 0.2;
+  /// Smoothed-latency overload threshold in µs; 0 = detector disabled.
+  double overload_latency_us = 0.0;
+  /// Consecutive kDisconnected answers for one pair (within one fault
+  /// epoch) that open its breaker; 0 = breaker disabled.
+  std::size_t breaker_threshold = 0;
+};
+
+/// Gate verdicts, in decreasing order of service delivered.
+enum class AdmissionVerdict {
+  kAdmitted,          // run the full query
+  kAdmittedDegraded,  // run, but skip the fault-aware fallback
+  kShed,              // rejected: bound hit under the kReject policy
+  kTimedOut,          // queued past the query's deadline / cancellation
+};
+
+/// The bounded in-flight gate + EWMA overload detector. Thread-safe; one
+/// admit() that returns kAdmitted/kAdmittedDegraded must be paired with
+/// exactly one release() (PathService uses an RAII guard).
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(AdmissionConfig config) : config_{config} {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Decides one query's fate. Blocks only under the kQueue policy, and
+  /// then only until a slot frees, the deadline expires, or the token is
+  /// cancelled. An unarmed deadline under kQueue waits indefinitely for a
+  /// slot (there is nothing to time out against).
+  [[nodiscard]] AdmissionVerdict admit(const util::Deadline& deadline,
+                                       const util::CancellationToken* cancel);
+
+  /// Returns the slot taken by a successful admit().
+  void release() noexcept;
+
+  /// Feeds one completed answer's latency into the EWMA detector.
+  void record_latency(double micros) noexcept;
+
+  /// Smoothed latency estimate (µs); 0 until the first sample.
+  [[nodiscard]] double ewma_latency_us() const noexcept {
+    return ewma_us_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the detector is armed and the smoothed latency exceeds the
+  /// configured threshold.
+  [[nodiscard]] bool overloaded() const noexcept {
+    return config_.overload_latency_us > 0.0 &&
+           ewma_latency_us() > config_.overload_latency_us;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AdmissionConfig config_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<double> ewma_us_{0.0};
+  std::mutex mutex_;                 // serializes kQueue waiters only
+  std::condition_variable slot_free_;
+};
+
+/// Per-fault-epoch short-circuit for repeatedly-disconnected pairs.
+/// Epochs are advanced by the owner whenever the fault landscape changes
+/// (PathService::advance_fault_epoch()); entries from older epochs reset
+/// lazily, so a repair automatically gives every pair a fresh chance.
+class CircuitBreaker {
+ public:
+  /// threshold = consecutive disconnects that open a pair's breaker;
+  /// 0 disables the breaker entirely (both methods become no-ops).
+  explicit CircuitBreaker(std::size_t threshold) : threshold_{threshold} {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when (s, t) should be short-circuited at `epoch` — its breaker
+  /// opened in this same epoch and has not been reset by an epoch advance.
+  [[nodiscard]] bool should_short_circuit(core::Node s, core::Node t,
+                                          std::uint64_t epoch);
+
+  /// Records one authoritative answer for (s, t): a disconnect extends the
+  /// streak (opening the breaker at the threshold), anything else resets it.
+  void record(core::Node s, core::Node t, std::uint64_t epoch,
+              bool disconnected);
+
+  /// Breakers opened since construction (monotone; telemetry only).
+  [[nodiscard]] std::uint64_t trips() const noexcept {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return threshold_ > 0; }
+
+ private:
+  struct PairKey {
+    core::Node s = 0;
+    core::Node t = 0;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      std::uint64_t h = k.s * 0x9e3779b97f4a7c15ULL;
+      h ^= (k.t + 0xbf58476d1ce4e5b9ULL) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::size_t streak = 0;
+    bool open = false;
+  };
+
+  std::size_t threshold_;
+  std::atomic<std::uint64_t> trips_{0};
+  std::mutex mutex_;
+  std::unordered_map<PairKey, Entry, PairKeyHash> entries_;
+};
+
+}  // namespace hhc::query

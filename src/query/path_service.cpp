@@ -10,6 +10,29 @@
 
 namespace hhc::query {
 
+namespace {
+
+// Slot guard for an admitted query: every exit path (including a thrown
+// std::invalid_argument) must give the in-flight slot back.
+struct SlotGuard {
+  AdmissionGate& gate;
+  ~SlotGuard() { gate.release(); }
+};
+
+obs::Histogram& outcome_histogram(RouteOutcome outcome) {
+  static obs::Histogram& ok = obs::stage_histogram(obs::stages::kAnswerOk);
+  static obs::Histogram& timed_out =
+      obs::stage_histogram(obs::stages::kAnswerTimedOut);
+  static obs::Histogram& shed = obs::stage_histogram(obs::stages::kAnswerShed);
+  switch (outcome) {
+    case RouteOutcome::kTimedOut: return timed_out;
+    case RouteOutcome::kShed: return shed;
+    default: return ok;  // kOk (kInvalid never reaches finalize)
+  }
+}
+
+}  // namespace
+
 PathService::PathService(const core::HhcTopology& net, PathServiceConfig config)
     : net_{net},
       config_{config},
@@ -17,8 +40,58 @@ PathService::PathService(const core::HhcTopology& net, PathServiceConfig config)
                       .options = config.options,
                       .shards = config.cache_shards,
                       .max_entries_per_shard = config.max_entries_per_shard}},
-      router_{net, &cache_} {
+      router_{net, &cache_},
+      gate_{config.admission},
+      breaker_{config.admission.breaker_threshold} {
   if (config_.threads != 1) pool_.emplace(config_.threads);
+}
+
+RouteResult PathService::finalize(const PairQuery& query, RouteResult result,
+                                  double micros) {
+  result.micros = micros;
+  latency_.record(micros);
+  outcome_histogram(result.outcome).record(micros);
+
+  (query.faults == nullptr ? pristine_ : fault_aware_)
+      .fetch_add(1, std::memory_order_relaxed);
+  switch (result.outcome) {
+    case RouteOutcome::kOk:
+      // Completed answers (and only those) feed the overload detector: a
+      // shed query finishes in nanoseconds and would talk the EWMA out of
+      // the very overload it is evidence of.
+      gate_.record_latency(micros);
+      switch (result.level) {
+        case DegradationLevel::kGuaranteed:
+          guaranteed_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case DegradationLevel::kBestEffort:
+          best_effort_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case DegradationLevel::kDisconnected:
+          disconnected_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      break;
+    case RouteOutcome::kTimedOut: {
+      gate_.record_latency(micros);
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& timeouts =
+          obs::MetricRegistry::global().counter(obs::stages::kTimedOutCount);
+      timeouts.inc();
+      break;
+    }
+    case RouteOutcome::kShed: {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& sheds =
+          obs::MetricRegistry::global().counter(obs::stages::kShedCount);
+      sheds.inc();
+      break;
+    }
+    case RouteOutcome::kInvalid:
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return result;
 }
 
 RouteResult PathService::answer(const PairQuery& query) {
@@ -26,24 +99,27 @@ RouteResult PathService::answer(const PairQuery& query) {
       obs::stage_histogram(obs::stages::kAnswer);
   obs::TraceSpan span{obs::stages::kAnswer, &answer_hist};
   util::Stopwatch watch;
-  RouteResult result = answer_impl(query);
-  result.micros = watch.micros();
-  latency_.record(result.micros);
 
-  (query.faults == nullptr ? pristine_ : fault_aware_)
-      .fetch_add(1, std::memory_order_relaxed);
-  switch (result.level) {
-    case DegradationLevel::kGuaranteed:
-      guaranteed_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case DegradationLevel::kBestEffort:
-      best_effort_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case DegradationLevel::kDisconnected:
-      disconnected_.fetch_add(1, std::memory_order_relaxed);
-      break;
+  const AdmissionVerdict verdict = gate_.admit(query.deadline, query.cancel);
+  if (verdict == AdmissionVerdict::kShed ||
+      verdict == AdmissionVerdict::kTimedOut) {
+    RouteResult result;
+    result.outcome = verdict == AdmissionVerdict::kShed
+                         ? RouteOutcome::kShed
+                         : RouteOutcome::kTimedOut;
+    return finalize(query, std::move(result), watch.micros());
   }
-  return result;
+
+  SlotGuard guard{gate_};
+  const bool degraded = verdict == AdmissionVerdict::kAdmittedDegraded;
+  if (degraded) {
+    degraded_admissions_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& degrades = obs::MetricRegistry::global().counter(
+        obs::stages::kDegradedAdmissionCount);
+    degrades.inc();
+  }
+  RouteResult result = answer_impl(query, degraded);
+  return finalize(query, std::move(result), watch.micros());
 }
 
 RouteView PathService::answer_view(const PairQuery& query) {
@@ -61,6 +137,38 @@ RouteView PathService::answer_view(const PairQuery& query) {
   obs::TraceSpan span{obs::stages::kAnswerView, &view_hist};
   util::Stopwatch watch;
   RouteView view;
+
+  // The zero-copy path goes through the same gate as answer(): under a
+  // bounded in-flight config a data plane hammering views is exactly the
+  // traffic the bound exists for. (Degraded admission is meaningless here —
+  // there is no fallback to skip — so it collapses to plain admission.)
+  const AdmissionVerdict verdict = gate_.admit(query.deadline, query.cancel);
+  if (verdict == AdmissionVerdict::kShed ||
+      verdict == AdmissionVerdict::kTimedOut) {
+    view.outcome = verdict == AdmissionVerdict::kShed ? RouteOutcome::kShed
+                                                      : RouteOutcome::kTimedOut;
+    view.micros = watch.micros();
+    latency_.record(view.micros);
+    outcome_histogram(view.outcome).record(view.micros);
+    pristine_.fetch_add(1, std::memory_order_relaxed);
+    (view.outcome == RouteOutcome::kShed ? shed_ : timed_out_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return view;
+  }
+  SlotGuard guard{gate_};
+
+  // Stage boundary: an expired query must not pay for a possible
+  // construction behind the cache lookup.
+  if (util::should_stop(query.deadline, query.cancel)) {
+    view.outcome = RouteOutcome::kTimedOut;
+    view.micros = watch.micros();
+    latency_.record(view.micros);
+    outcome_histogram(view.outcome).record(view.micros);
+    pristine_.fetch_add(1, std::memory_order_relaxed);
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    return view;
+  }
+
   view.level = DegradationLevel::kGuaranteed;
   if (query.s == query.t) {
     // One shared trivial container {node 0}; the XOR mask relabels node 0
@@ -75,19 +183,48 @@ RouteView PathService::answer_view(const PairQuery& query) {
   }
   view.micros = watch.micros();
   latency_.record(view.micros);
+  outcome_histogram(RouteOutcome::kOk).record(view.micros);
+  gate_.record_latency(view.micros);
   pristine_.fetch_add(1, std::memory_order_relaxed);
   guaranteed_.fetch_add(1, std::memory_order_relaxed);
   return view;
 }
 
-RouteResult PathService::answer_impl(const PairQuery& query) {
+RouteResult PathService::answer_impl(const PairQuery& query, bool degraded) {
   if (!net_.contains(query.s) || !net_.contains(query.t)) {
     throw std::invalid_argument("PathService: node out of range");
   }
 
-  if (query.faults != nullptr) return router_.route(query);
-
   RouteResult result;
+  // Stage boundary: queries that arrive already expired (e.g. after a
+  // queued admission wait) answer kTimedOut without touching the cache.
+  if (util::should_stop(query.deadline, query.cancel)) {
+    result.outcome = RouteOutcome::kTimedOut;
+    return result;
+  }
+
+  if (query.faults != nullptr) {
+    const std::uint64_t epoch = fault_epoch_.load(std::memory_order_relaxed);
+    if (breaker_.should_short_circuit(query.s, query.t, epoch)) {
+      // The pair kept coming back disconnected this epoch; don't spend
+      // another survivor sweep proving it again. kShed marks the verdict
+      // as non-authoritative.
+      result.outcome = RouteOutcome::kShed;
+      breaker_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& short_circuits =
+          obs::MetricRegistry::global().counter(
+              obs::stages::kBreakerShortCircuitCount);
+      short_circuits.inc();
+      return result;
+    }
+    result = router_.route(query, {.skip_fallback = degraded});
+    if (result.outcome == RouteOutcome::kOk && breaker_.enabled()) {
+      breaker_.record(query.s, query.t, epoch,
+                      result.level == DegradationLevel::kDisconnected);
+    }
+    return result;
+  }
+
   result.level = DegradationLevel::kGuaranteed;
   if (query.s == query.t) {
     result.paths = {core::Path{query.s}};
@@ -102,7 +239,25 @@ RouteResult PathService::answer_impl(const PairQuery& query) {
 std::vector<RouteResult> PathService::answer(
     std::span<const PairQuery> queries) {
   std::vector<RouteResult> results(queries.size());
-  const auto body = [&](std::size_t i) { results[i] = answer(queries[i]); };
+  const auto body = [&](std::size_t i) {
+    try {
+      results[i] = answer(queries[i]);
+    } catch (const std::invalid_argument&) {
+      // Batch isolation: one malformed element must not poison its
+      // siblings (or kill the whole parallel_for). The slot reports
+      // kInvalid; everything else in the batch completes normally.
+      results[i] = RouteResult{};
+      results[i].outcome = RouteOutcome::kInvalid;
+      // Still one received query: keep it in the pristine/fault-aware totals
+      // so the outcome partition keeps summing to `queries`.
+      (queries[i].faults == nullptr ? pristine_ : fault_aware_)
+          .fetch_add(1, std::memory_order_relaxed);
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& invalids =
+          obs::MetricRegistry::global().counter(obs::stages::kInvalidCount);
+      invalids.inc();
+    }
+  };
   if (pool_) {
     pool_->parallel_for(0, queries.size(), body);
   } else {
@@ -119,6 +274,16 @@ ServiceStats PathService::stats() const {
   stats.guaranteed = guaranteed_.load(std::memory_order_relaxed);
   stats.best_effort = best_effort_.load(std::memory_order_relaxed);
   stats.disconnected = disconnected_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.timed_out = timed_out_.load(std::memory_order_relaxed);
+  stats.invalid = invalid_.load(std::memory_order_relaxed);
+  stats.degraded_admissions =
+      degraded_admissions_.load(std::memory_order_relaxed);
+  stats.breaker_short_circuits =
+      breaker_short_circuits_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_.trips();
+  stats.ewma_latency_us = gate_.ewma_latency_us();
+  stats.in_flight = gate_.in_flight();
   stats.cache = cache_.stats();
   stats.latency = latency_.snapshot();
   return stats;
@@ -130,6 +295,11 @@ void PathService::reset_stats() noexcept {
   guaranteed_.store(0, std::memory_order_relaxed);
   best_effort_.store(0, std::memory_order_relaxed);
   disconnected_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  timed_out_.store(0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
+  degraded_admissions_.store(0, std::memory_order_relaxed);
+  breaker_short_circuits_.store(0, std::memory_order_relaxed);
   latency_.reset();
 }
 

@@ -36,8 +36,10 @@
 #include "core/container_cache.hpp"
 #include "core/topology.hpp"
 #include "fault/adaptive_router.hpp"
+#include "query/admission.hpp"
 #include "query/stats.hpp"
 #include "query/types.hpp"
+#include "util/deadline.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hhc::query {
@@ -49,6 +51,7 @@ namespace hhc::query {
 struct RouteView {
   core::ContainerHandle container;
   DegradationLevel level = DegradationLevel::kDisconnected;
+  RouteOutcome outcome = RouteOutcome::kOk;  // kShed/kTimedOut => !ok()
   bool cache_hit = false;  // served without running the construction
   double micros = 0.0;     // service-side wall time
 
@@ -64,6 +67,10 @@ struct PathServiceConfig {
   /// Workers for the batch API: 0 = hardware concurrency, 1 = run batches
   /// inline on the caller's thread (no pool spawned at all).
   std::size_t threads = 1;
+  /// Overload robustness (in-flight bound, EWMA detector, breaker). The
+  /// default is fully inert: no limit, no threshold, no breaker — answers
+  /// are bit-identical to a service without the admission layer.
+  AdmissionConfig admission{};
 };
 
 class PathService {
@@ -77,11 +84,19 @@ class PathService {
 
   /// Answers one query. Thread-safe: any number of threads may call
   /// concurrently (this is what the batch API does internally). Throws
-  /// std::invalid_argument for out-of-range nodes.
+  /// std::invalid_argument for out-of-range nodes. Overload behavior:
+  /// admission may shed the query (outcome kShed) or time it out while
+  /// queued (kTimedOut); an expired deadline is noticed at stage
+  /// boundaries, so completion never overruns the deadline by more than
+  /// one stage-check interval.
   [[nodiscard]] RouteResult answer(const PairQuery& query);
 
   /// Answers a batch, fanned out over the service's thread pool. results[i]
   /// corresponds to queries[i] regardless of thread count or scheduling.
+  /// Unlike the single-query form, a malformed query (out-of-range node)
+  /// does NOT throw here: it yields results[i] with outcome kInvalid and
+  /// leaves every sibling result intact — one bad element must not poison
+  /// a 10k-query batch.
   [[nodiscard]] std::vector<RouteResult> answer(
       std::span<const PairQuery> queries);
 
@@ -99,6 +114,21 @@ class PathService {
   /// counters/entries are owned by the cache: use cache().clear().
   void reset_stats() noexcept;
 
+  /// Tells the circuit breaker the fault landscape changed (faults added or
+  /// repaired): every open breaker gets a fresh chance. Call this whenever
+  /// the FaultModel you pass in queries is mutated or swapped, or when a
+  /// scheduled repair window opens — the soak harness advances it once per
+  /// fault epoch.
+  void advance_fault_epoch() noexcept {
+    fault_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fault_epoch() const noexcept {
+    return fault_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// The admission gate (read-only access for telemetry/tests).
+  [[nodiscard]] const AdmissionGate& gate() const noexcept { return gate_; }
+
   [[nodiscard]] core::ContainerCache& cache() noexcept { return cache_; }
   [[nodiscard]] const core::ContainerCache& cache() const noexcept {
     return cache_;
@@ -110,19 +140,31 @@ class PathService {
   }
 
  private:
-  [[nodiscard]] RouteResult answer_impl(const PairQuery& query);
+  [[nodiscard]] RouteResult answer_impl(const PairQuery& query, bool degraded);
+  /// Shared exit path: stamps micros, feeds the histograms/EWMA, bumps the
+  /// outcome and level counters.
+  RouteResult finalize(const PairQuery& query, RouteResult result,
+                       double micros);
 
   const core::HhcTopology& net_;
   PathServiceConfig config_;
   core::ContainerCache cache_;
   fault::AdaptiveRouter router_;
   std::optional<util::ThreadPool> pool_;
+  AdmissionGate gate_;
+  CircuitBreaker breaker_;
+  std::atomic<std::uint64_t> fault_epoch_{0};
 
   std::atomic<std::uint64_t> pristine_{0};
   std::atomic<std::uint64_t> fault_aware_{0};
   std::atomic<std::uint64_t> guaranteed_{0};
   std::atomic<std::uint64_t> best_effort_{0};
   std::atomic<std::uint64_t> disconnected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> degraded_admissions_{0};
+  std::atomic<std::uint64_t> breaker_short_circuits_{0};
   LatencyHistogram latency_;
 };
 

@@ -21,6 +21,7 @@ std::string ServiceStats::to_csv() const {
   std::string out =
       core::csv_row({"scope", "entries", "hits", "misses", "evictions",
                      "queries", "guaranteed", "best_effort", "disconnected",
+                     "shed", "timed_out", "invalid", "breaker_trips",
                      "hit_rate", "p50_us", "p90_us", "p99_us", "max_us"}) +
       "\n";
   for (std::size_t i = 0; i < cache.shards.size(); ++i) {
@@ -30,7 +31,7 @@ std::string ServiceStats::to_csv() const {
                           std::to_string(shard.hits),
                           std::to_string(shard.misses),
                           std::to_string(shard.evictions), "", "", "", "", "",
-                          "", "", "", ""}) +
+                          "", "", "", "", "", "", "", ""}) +
            "\n";
   }
   out += core::csv_row(
@@ -38,7 +39,9 @@ std::string ServiceStats::to_csv() const {
               std::to_string(cache.hits), std::to_string(cache.misses),
               std::to_string(cache.evictions), std::to_string(queries),
               std::to_string(guaranteed), std::to_string(best_effort),
-              std::to_string(disconnected), std::to_string(hit_rate()),
+              std::to_string(disconnected), std::to_string(shed),
+              std::to_string(timed_out), std::to_string(invalid),
+              std::to_string(breaker_trips), std::to_string(hit_rate()),
               std::to_string(pct(latency, 0.50)),
               std::to_string(pct(latency, 0.90)),
               std::to_string(pct(latency, 0.99)),
@@ -56,6 +59,14 @@ std::string ServiceStats::to_json() const {
       .key("guaranteed").value(guaranteed)
       .key("best_effort").value(best_effort)
       .key("disconnected").value(disconnected)
+      .key("shed").value(shed)
+      .key("timed_out").value(timed_out)
+      .key("invalid").value(invalid)
+      .key("degraded_admissions").value(degraded_admissions)
+      .key("breaker_short_circuits").value(breaker_short_circuits)
+      .key("breaker_trips").value(breaker_trips)
+      .key("ewma_latency_us").value(ewma_latency_us)
+      .key("in_flight").value(in_flight)
       .key("cache").begin_object()
       .key("entries").value(static_cast<std::uint64_t>(cache.entries))
       .key("hits").value(static_cast<std::uint64_t>(cache.hits))
@@ -86,13 +97,15 @@ std::string ServiceStats::to_json() const {
 
 void ServiceStats::print(std::ostream& os) const {
   util::Table table{{"queries", "guaranteed", "best-effort", "disconnected",
-                     "hit rate %", "entries", "evictions", "p50 us", "p99 us",
-                     "max us"}};
+                     "shed", "timed out", "hit rate %", "entries", "evictions",
+                     "p50 us", "p99 us", "max us"}};
   table.row()
       .add(queries)
       .add(guaranteed)
       .add(best_effort)
       .add(disconnected)
+      .add(shed)
+      .add(timed_out)
       .add(100.0 * hit_rate(), 1)
       .add(static_cast<std::uint64_t>(cache.entries))
       .add(static_cast<std::uint64_t>(cache.evictions))

@@ -66,9 +66,24 @@ struct ServiceStats {
   std::uint64_t queries = 0;
   std::uint64_t pristine = 0;       // container-only queries
   std::uint64_t fault_aware = 0;    // queries with a fault view attached
+  // Level counters only count authoritative (outcome kOk) answers; the
+  // outcome counters below cover the rest, so
+  //   guaranteed + best_effort + disconnected + shed + timed_out + invalid
+  // always equals `queries`.
   std::uint64_t guaranteed = 0;
   std::uint64_t best_effort = 0;
   std::uint64_t disconnected = 0;
+
+  // Overload robustness (see DESIGN.md §8). shed includes both gate
+  // rejections and breaker short-circuits; the latter also counted apart.
+  std::uint64_t shed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t invalid = 0;               // malformed batch elements
+  std::uint64_t degraded_admissions = 0;   // admitted with fallback skipped
+  std::uint64_t breaker_short_circuits = 0;
+  std::uint64_t breaker_trips = 0;         // breakers opened (monotone)
+  double ewma_latency_us = 0.0;            // the overload detector's view
+  std::uint64_t in_flight = 0;             // instantaneous occupancy
 
   core::CacheStats cache;           // aggregate + per-shard counters
 

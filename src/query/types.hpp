@@ -22,6 +22,7 @@
 
 #include "core/disjoint.hpp"
 #include "core/topology.hpp"
+#include "util/deadline.hpp"
 
 namespace hhc::core {
 class FaultModel;
@@ -46,6 +47,27 @@ enum class DegradationLevel {
   return "?";
 }
 
+/// WHETHER the service delivered a full answer — deliberately distinct from
+/// DegradationLevel, which records HOW an answer was obtained. kOk +
+/// kDisconnected is an authoritative "no path exists"; kShed + kDisconnected
+/// means the service gave up early and the verdict is NOT authoritative.
+enum class RouteOutcome {
+  kOk,        // the query ran to completion; level/paths are authoritative
+  kTimedOut,  // deadline expired (or token cancelled) before completion
+  kShed,      // dropped by admission control / load shedding / breaker
+  kInvalid,   // malformed query inside a batch (out-of-range node)
+};
+
+[[nodiscard]] constexpr const char* to_string(RouteOutcome outcome) noexcept {
+  switch (outcome) {
+    case RouteOutcome::kOk: return "ok";
+    case RouteOutcome::kTimedOut: return "timed-out";
+    case RouteOutcome::kShed: return "shed";
+    case RouteOutcome::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
 /// One path query. With `faults == nullptr` the query is pristine and the
 /// answer is the full m+1-path container, bit-identical to
 /// node_disjoint_paths(net, s, t, options). With a fault view attached the
@@ -56,6 +78,14 @@ struct PairQuery {
   core::ConstructionOptions options{};
   const core::FaultModel* faults = nullptr;  // not owned; null = pristine
   std::uint64_t time = 0;                    // fault-evaluation instant
+  /// Optional per-query time budget. Default-constructed = none: the query
+  /// runs to completion exactly as before deadlines existed. Checked
+  /// cooperatively at stage boundaries, so the worst-case overrun is one
+  /// stage-check interval (see util/deadline.hpp).
+  util::Deadline deadline{};
+  /// Optional external cancellation (not owned); checked wherever the
+  /// deadline is. Null = never cancelled.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// One answer. Pristine queries fill `paths` with the whole container
@@ -65,6 +95,7 @@ struct PairQuery {
 struct RouteResult {
   std::vector<core::Path> paths;
   DegradationLevel level = DegradationLevel::kDisconnected;
+  RouteOutcome outcome = RouteOutcome::kOk;  // see enum: WHETHER vs HOW
   std::size_t container_paths_blocked = 0;  // of the m+1 container paths
   bool used_fallback = false;               // BFS fallback engaged
   bool cache_hit = false;     // served without running the construction

@@ -60,8 +60,10 @@ TransferOutcome serial_retry_impl(const core::HhcTopology& net,
 TransferOutcome backoff_retry_impl(const core::HhcTopology& net,
                                    const core::DisjointPathSet& container,
                                    const core::FaultModel& faults,
-                                   std::size_t max_attempts) {
+                                   std::size_t max_attempts,
+                                   std::uint64_t jitter_seed) {
   TransferOutcome outcome;
+  util::Xoshiro256 jitter_rng{jitter_seed};
   std::uint64_t clock = 0;
   for (std::size_t k = 0; k < max_attempts; ++k) {
     const core::Path& path = container.paths[k % container.paths.size()];
@@ -78,8 +80,13 @@ TransferOutcome backoff_retry_impl(const core::HhcTopology& net,
     outcome.wasted_transmissions += simulator.packets()[0].hop;
     // Loss is detected by a round-trip of silence; the wait doubles every
     // attempt so repeated losses back off instead of hammering an outage.
+    // With a jitter seed, each wait is shortened by a seeded random slice
+    // so a fleet of senders spreads its retries out (one draw per loss
+    // keeps the whole schedule a pure function of the seed).
     const std::uint64_t round_trip = 2 * (path.size() - 1);
-    clock += round_trip << std::min<std::size_t>(k, 32);
+    std::uint64_t wait = round_trip << std::min<std::size_t>(k, 32);
+    if (jitter_seed != 0) wait = jittered_wait(wait, jitter_rng);
+    clock += wait;
   }
   outcome.completion_cycles = clock;
   return outcome;
@@ -158,20 +165,27 @@ TransferOutcome serial_retry_transfer(query::PathService& service, core::Node s,
   return serial_retry_impl(service.net(), container_via(service, s, t), faults);
 }
 
+std::uint64_t jittered_wait(std::uint64_t wait, util::Xoshiro256& rng) {
+  if (wait == 0) return 0;
+  return wait - rng.below(wait / 2 + 1);
+}
+
 TransferOutcome backoff_retry_transfer(const core::HhcTopology& net,
                                        core::Node s, core::Node t,
                                        const core::FaultModel& faults,
-                                       std::size_t max_attempts) {
+                                       std::size_t max_attempts,
+                                       std::uint64_t jitter_seed) {
   return backoff_retry_impl(net, core::node_disjoint_paths(net, s, t), faults,
-                            max_attempts);
+                            max_attempts, jitter_seed);
 }
 
 TransferOutcome backoff_retry_transfer(query::PathService& service,
                                        core::Node s, core::Node t,
                                        const core::FaultModel& faults,
-                                       std::size_t max_attempts) {
+                                       std::size_t max_attempts,
+                                       std::uint64_t jitter_seed) {
   return backoff_retry_impl(service.net(), container_via(service, s, t), faults,
-                            max_attempts);
+                            max_attempts, jitter_seed);
 }
 
 TransferOutcome dispersal_transfer(const core::HhcTopology& net, core::Node s,

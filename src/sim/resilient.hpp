@@ -59,13 +59,27 @@ struct TransferOutcome {
                                                 core::Node s, core::Node t,
                                                 const core::FaultSet& faults);
 
+/// Deterministic jitter for one backoff wait: maps `wait` into
+/// [wait - wait/2, wait] by subtracting a uniform draw from `rng` (a
+/// half-jitter; zero waits stay zero). Many senders backing off from the
+/// same outage with distinct seeds desynchronize instead of retrying in
+/// lockstep (the thundering herd), while a fixed seed pins the exact
+/// attempt schedule — tests assert it cycle for cycle.
+[[nodiscard]] std::uint64_t jittered_wait(std::uint64_t wait,
+                                          util::Xoshiro256& rng);
+
 /// Retry with exponential backoff over the container, round-robin: attempt
 /// k uses path k mod (m+1) and, when lost, waits 2 * (path length) << k
 /// cycles before the next attempt (the sender detects loss by silence; the
 /// growing wait rides out transient outages). Stops after `max_attempts`.
+/// `jitter_seed` != 0 applies jittered_wait() to every backoff interval
+/// with an RNG seeded from it (one draw per lost attempt, so the schedule
+/// is a pure function of the seed); 0 keeps the exact deterministic
+/// schedule the un-jittered protocol always had.
 [[nodiscard]] TransferOutcome backoff_retry_transfer(
     const core::HhcTopology& net, core::Node s, core::Node t,
-    const core::FaultModel& faults, std::size_t max_attempts = 8);
+    const core::FaultModel& faults, std::size_t max_attempts = 8,
+    std::uint64_t jitter_seed = 0);
 
 /// Service-routed flavors: the container comes from a pristine
 /// service.answer() (cached, bit-identical), the packet simulation is
@@ -81,6 +95,7 @@ struct TransferOutcome {
                                                 const core::FaultSet& faults);
 [[nodiscard]] TransferOutcome backoff_retry_transfer(
     query::PathService& service, core::Node s, core::Node t,
-    const core::FaultModel& faults, std::size_t max_attempts = 8);
+    const core::FaultModel& faults, std::size_t max_attempts = 8,
+    std::uint64_t jitter_seed = 0);
 
 }  // namespace hhc::sim

@@ -1,0 +1,98 @@
+// Cooperative time budgets and cancellation for the query engine.
+//
+// The service must degrade gracefully under overload instead of stalling,
+// which means long-running stages (construction, cache fill, the adaptive
+// router's survivor-subgraph BFS) need a way to notice "this answer is no
+// longer worth computing" and bail out. Two small primitives carry that:
+//
+//   Deadline          an absolute steady_clock instant with a "none" state.
+//                     Copyable and cheap; a PairQuery carries one by value.
+//   CancellationToken a sticky atomic flag an owner trips to abandon work
+//                     in flight (shutdown, client disconnect). Shared by
+//                     pointer; queries hold `const CancellationToken*`.
+//
+// Both are COOPERATIVE: nothing is preempted. Stages check at their
+// boundaries, and the BFS expansion loop checks every kStopCheckStride
+// expansions, so the worst-case overrun past a deadline is one stage-check
+// interval — that bound is part of the service's overload contract (see
+// DESIGN.md §8) and what the soak harness asserts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+
+namespace hhc::util {
+
+/// How many BFS expansions (or similar loop iterations) may pass between
+/// two cooperative stop checks. Small enough that a parked worker notices
+/// an expired deadline within microseconds, large enough that the check is
+/// amortized to noise on the hot path.
+inline constexpr std::size_t kStopCheckStride = 64;
+
+/// An absolute wall-deadline on the steady clock. Default-constructed
+/// deadlines are "none" — never expired, infinite remaining budget — so a
+/// plain PairQuery behaves exactly as before deadlines existed.
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// No deadline (never expires).
+  constexpr Deadline() noexcept = default;
+
+  /// Expires at the absolute instant `at`.
+  explicit Deadline(clock::time_point at) noexcept : at_{at}, armed_{true} {}
+
+  /// Expires `micros` microseconds from now (0 = already expired: useful
+  /// for "answer from cache or not at all" queries and for tests).
+  [[nodiscard]] static Deadline after_micros(double micros) noexcept {
+    return Deadline{clock::now() +
+                    std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double, std::micro>{micros})};
+  }
+
+  [[nodiscard]] constexpr bool armed() const noexcept { return armed_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return armed_ && clock::now() >= at_;
+  }
+
+  /// Microseconds left before expiry; negative once expired, +infinity when
+  /// unarmed. The soak harness uses the negative side to measure overrun.
+  [[nodiscard]] double remaining_micros() const noexcept {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::micro>(at_ - clock::now())
+        .count();
+  }
+
+  [[nodiscard]] clock::time_point instant() const noexcept { return at_; }
+
+ private:
+  clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// A sticky one-way cancellation flag. cancel() is idempotent and
+/// thread-safe; cancelled() is one relaxed load, cheap enough to sit inside
+/// a BFS expansion loop.
+class CancellationToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The stage-boundary check every cooperative stage performs: stop when the
+/// deadline has passed or the token (if any) was tripped.
+[[nodiscard]] inline bool should_stop(const Deadline& deadline,
+                                      const CancellationToken* token) noexcept {
+  return (token != nullptr && token->cancelled()) || deadline.expired();
+}
+
+}  // namespace hhc::util

@@ -33,6 +33,18 @@ void ThreadPool::submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+bool ThreadPool::try_submit(std::function<void()> task,
+                            std::size_t max_queued) {
+  {
+    std::lock_guard lock{mutex_};
+    if (tasks_.size() > max_queued) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock{mutex_};
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -31,6 +31,15 @@ class ThreadPool {
   /// Enqueue a task; fire-and-forget (use wait_idle() to synchronize).
   void submit(std::function<void()> task);
 
+  /// Bounded enqueue: refuses (returns false, task not queued) when more
+  /// than `max_queued` tasks are already waiting to start. This is the
+  /// building block for open-loop load shedding — an overloaded consumer
+  /// drops new arrivals at the door instead of growing an unbounded queue.
+  /// Tasks already RUNNING don't count against the bound, only waiting
+  /// ones; `max_queued` of 0 admits a task only when the queue is empty.
+  [[nodiscard]] bool try_submit(std::function<void()> task,
+                                std::size_t max_queued);
+
   /// Block until every submitted task has finished.
   /// Rethrows the first task exception, if any.
   void wait_idle();

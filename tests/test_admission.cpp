@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "query/admission.hpp"
+#include "util/deadline.hpp"
+
+namespace hhc::query {
+namespace {
+
+using util::CancellationToken;
+using util::Deadline;
+
+TEST(AdmissionGate, DefaultConfigAdmitsEverything) {
+  AdmissionGate gate{AdmissionConfig{}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  }
+  // No release() calls needed: the unlimited gate never claimed a slot.
+  EXPECT_FALSE(gate.overloaded());
+}
+
+TEST(AdmissionGate, RejectPolicyShedsBeyondTheBound) {
+  AdmissionConfig config;
+  config.max_in_flight = 2;
+  config.policy = AdmissionPolicy::kReject;
+  AdmissionGate gate{config};
+
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kShed);
+  EXPECT_EQ(gate.in_flight(), 2u);
+
+  gate.release();
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  gate.release();
+  gate.release();
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(AdmissionGate, DegradePolicyAdmitsDegradedBeyondTheBound) {
+  AdmissionConfig config;
+  config.max_in_flight = 1;
+  config.policy = AdmissionPolicy::kDegrade;
+  AdmissionGate gate{config};
+
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr),
+            AdmissionVerdict::kAdmittedDegraded);
+  EXPECT_EQ(gate.in_flight(), 2u);  // degraded admissions still hold slots
+  gate.release();
+  gate.release();
+}
+
+TEST(AdmissionGate, QueuePolicyTimesOutOnExpiredDeadline) {
+  AdmissionConfig config;
+  config.max_in_flight = 1;
+  config.policy = AdmissionPolicy::kQueue;
+  AdmissionGate gate{config};
+
+  ASSERT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  // The slot is taken and the deadline has already passed: the queued
+  // admit must give up rather than wait forever.
+  EXPECT_EQ(gate.admit(Deadline::after_micros(0.0), nullptr),
+            AdmissionVerdict::kTimedOut);
+  gate.release();
+}
+
+TEST(AdmissionGate, QueuePolicyHonorsCancellation) {
+  AdmissionConfig config;
+  config.max_in_flight = 1;
+  config.policy = AdmissionPolicy::kQueue;
+  AdmissionGate gate{config};
+  ASSERT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+
+  CancellationToken token;
+  token.cancel();
+  EXPECT_EQ(gate.admit(Deadline{}, &token), AdmissionVerdict::kTimedOut);
+  gate.release();
+}
+
+TEST(AdmissionGate, QueuePolicyGetsTheSlotWhenReleased) {
+  AdmissionConfig config;
+  config.max_in_flight = 1;
+  config.policy = AdmissionPolicy::kQueue;
+  AdmissionGate gate{config};
+  ASSERT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter{[&] {
+    // Unarmed deadline: waits however long the release takes.
+    const AdmissionVerdict verdict = gate.admit(Deadline{}, nullptr);
+    EXPECT_EQ(verdict, AdmissionVerdict::kAdmitted);
+    admitted.store(true);
+    gate.release();
+  }};
+  gate.release();  // frees the slot; the waiter must take it
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(AdmissionGate, EwmaTracksLatencyAndFlagsOverload) {
+  AdmissionConfig config;
+  config.ewma_alpha = 1.0;  // EWMA == last sample, exact assertions
+  config.overload_latency_us = 100.0;
+  AdmissionGate gate{config};
+
+  EXPECT_FALSE(gate.overloaded());
+  gate.record_latency(50.0);
+  EXPECT_DOUBLE_EQ(gate.ewma_latency_us(), 50.0);
+  EXPECT_FALSE(gate.overloaded());
+
+  gate.record_latency(500.0);
+  EXPECT_DOUBLE_EQ(gate.ewma_latency_us(), 500.0);
+  EXPECT_TRUE(gate.overloaded());
+
+  // Overload degrades admission even though no in-flight bound is set.
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr),
+            AdmissionVerdict::kAdmittedDegraded);
+
+  gate.record_latency(1.0);
+  EXPECT_FALSE(gate.overloaded());
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+}
+
+TEST(AdmissionGate, EwmaSmoothingFollowsAlpha) {
+  AdmissionConfig config;
+  config.ewma_alpha = 0.5;
+  AdmissionGate gate{config};
+  gate.record_latency(100.0);  // first sample seeds the average
+  gate.record_latency(200.0);
+  EXPECT_DOUBLE_EQ(gate.ewma_latency_us(), 150.0);
+  gate.record_latency(50.0);
+  EXPECT_DOUBLE_EQ(gate.ewma_latency_us(), 100.0);
+}
+
+TEST(AdmissionGate, ConcurrentAdmitsNeverExceedTheBound) {
+  constexpr std::size_t kBound = 4;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 2000;
+
+  AdmissionConfig config;
+  config.max_in_flight = kBound;
+  config.policy = AdmissionPolicy::kReject;
+  AdmissionGate gate{config};
+
+  std::atomic<std::size_t> active{0};
+  std::atomic<std::size_t> peak{0};
+  std::atomic<std::size_t> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (gate.admit(Deadline{}, nullptr) != AdmissionVerdict::kAdmitted) {
+          continue;
+        }
+        const std::size_t now = active.fetch_add(1) + 1;
+        std::size_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        admitted.fetch_add(1);
+        active.fetch_sub(1);
+        gate.release();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_GT(admitted.load(), 0u);
+  EXPECT_LE(peak.load(), kBound);
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(CircuitBreaker, DisabledBreakerNeverShortCircuits) {
+  CircuitBreaker breaker{0};
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) breaker.record(1, 2, 0, /*disconnected=*/true);
+  EXPECT_FALSE(breaker.should_short_circuit(1, 2, 0));
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, OpensAtTheThresholdWithinOneEpoch) {
+  CircuitBreaker breaker{3};
+  breaker.record(1, 2, 0, true);
+  breaker.record(1, 2, 0, true);
+  EXPECT_FALSE(breaker.should_short_circuit(1, 2, 0));  // streak 2 < 3
+  breaker.record(1, 2, 0, true);
+  EXPECT_TRUE(breaker.should_short_circuit(1, 2, 0));
+  EXPECT_EQ(breaker.trips(), 1u);
+  // A different pair is unaffected.
+  EXPECT_FALSE(breaker.should_short_circuit(2, 1, 0));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheStreak) {
+  CircuitBreaker breaker{2};
+  breaker.record(7, 9, 0, true);
+  breaker.record(7, 9, 0, false);  // connectivity came back mid-streak
+  breaker.record(7, 9, 0, true);
+  EXPECT_FALSE(breaker.should_short_circuit(7, 9, 0));
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, EpochAdvanceGivesThePairAFreshChance) {
+  CircuitBreaker breaker{2};
+  breaker.record(3, 4, 0, true);
+  breaker.record(3, 4, 0, true);
+  ASSERT_TRUE(breaker.should_short_circuit(3, 4, 0));
+  // The fault landscape changed: the open breaker from epoch 0 must not
+  // short-circuit epoch 1 queries, and the streak restarts.
+  EXPECT_FALSE(breaker.should_short_circuit(3, 4, 1));
+  breaker.record(3, 4, 1, true);
+  EXPECT_FALSE(breaker.should_short_circuit(3, 4, 1));
+  breaker.record(3, 4, 1, true);
+  EXPECT_TRUE(breaker.should_short_circuit(3, 4, 1));
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreaker, ConcurrentRecordsReachTheThresholdOnce) {
+  CircuitBreaker breaker{1};  // every disconnect opens
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        breaker.record(t, t + 1, 0, true);
+        (void)breaker.should_short_circuit(t, t + 1, 0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // One trip per pair: the open breaker must not re-trip on every record.
+  EXPECT_EQ(breaker.trips(), kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(breaker.should_short_circuit(t, t + 1, 0));
+  }
+}
+
+}  // namespace
+}  // namespace hhc::query

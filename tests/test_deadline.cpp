@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/deadline.hpp"
+
+namespace hhc::util {
+namespace {
+
+TEST(Deadline, DefaultIsUnarmedAndNeverExpires) {
+  const Deadline none;
+  EXPECT_FALSE(none.armed());
+  EXPECT_FALSE(none.expired());
+  EXPECT_EQ(none.remaining_micros(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, ZeroBudgetIsAlreadyExpired) {
+  const Deadline now = Deadline::after_micros(0.0);
+  EXPECT_TRUE(now.armed());
+  EXPECT_TRUE(now.expired());
+}
+
+TEST(Deadline, FutureDeadlineHasPositiveBudget) {
+  const Deadline later = Deadline::after_micros(60e6);  // a minute out
+  EXPECT_TRUE(later.armed());
+  EXPECT_FALSE(later.expired());
+  EXPECT_GT(later.remaining_micros(), 0.0);
+}
+
+TEST(Deadline, RemainingGoesNegativePastExpiry) {
+  const Deadline past = Deadline::after_micros(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  EXPECT_LT(past.remaining_micros(), 0.0);
+}
+
+TEST(Deadline, CopyPreservesTheInstant) {
+  const Deadline original = Deadline::after_micros(60e6);
+  const Deadline copy = original;
+  EXPECT_EQ(copy.instant(), original.instant());
+  EXPECT_TRUE(copy.armed());
+}
+
+TEST(CancellationToken, StartsClearTripsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ShouldStop, CombinesDeadlineAndToken) {
+  const Deadline none;
+  const Deadline expired = Deadline::after_micros(0.0);
+  CancellationToken token;
+
+  EXPECT_FALSE(should_stop(none, nullptr));
+  EXPECT_FALSE(should_stop(none, &token));
+  EXPECT_TRUE(should_stop(expired, nullptr));
+
+  token.cancel();
+  EXPECT_TRUE(should_stop(none, &token));    // token alone suffices
+  EXPECT_TRUE(should_stop(expired, &token)); // both is still stop
+}
+
+TEST(ShouldStop, NullTokenMeansNeverCancelled) {
+  EXPECT_FALSE(should_stop(Deadline{}, nullptr));
+}
+
+}  // namespace
+}  // namespace hhc::util

@@ -7,7 +7,10 @@
 #include "core/metrics.hpp"
 #include "core/routing.hpp"
 #include "fault/adaptive_router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
 #include "query/path_service.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace hhc::query {
@@ -129,12 +132,71 @@ TEST(PathService, BatchIsDeterministicForAnyThreadCount) {
   }
 }
 
-TEST(PathService, BatchErrorsSurfaceOnTheCallerThread) {
+TEST(PathService, MalformedBatchElementDoesNotPoisonSiblings) {
+  // Old semantics rethrew the element's std::invalid_argument and threw the
+  // whole batch away. Now the bad element alone reports kInvalid and every
+  // sibling answers normally — one typo must not cost a 10k-query batch.
   const HhcTopology net{2};
   PathService service{net, {.threads = 2}};
   const std::vector<PairQuery> queries{{.s = 0, .t = 5},
-                                       {.s = 0, .t = net.node_count()}};
-  EXPECT_THROW((void)service.answer(queries), std::invalid_argument);
+                                       {.s = 0, .t = net.node_count()},
+                                       {.s = 3, .t = 60}};
+  const auto results = service.answer(queries);
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_EQ(results[0].outcome, RouteOutcome::kOk);
+  EXPECT_EQ(results[0].paths, core::node_disjoint_paths(net, 0, 5).paths);
+  EXPECT_EQ(results[1].outcome, RouteOutcome::kInvalid);
+  EXPECT_TRUE(results[1].paths.empty());
+  EXPECT_EQ(results[2].outcome, RouteOutcome::kOk);
+  EXPECT_EQ(results[2].paths, core::node_disjoint_paths(net, 3, 60).paths);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.guaranteed + stats.best_effort + stats.disconnected +
+                stats.shed + stats.timed_out + stats.invalid,
+            stats.queries);
+}
+
+TEST(PathService, EmptyBatchIsANoop) {
+  const HhcTopology net{2};
+  PathService service{net, {.threads = 2}};
+  const std::vector<PairQuery> queries;
+  EXPECT_TRUE(service.answer(queries).empty());
+  EXPECT_EQ(service.stats().queries, 0u);
+}
+
+TEST(PathService, SelfQueryWithFaultViewAcrossEveryEntryPoint) {
+  // s == t stays the trivial answer under a fault view as long as the node
+  // itself is alive; a dead node is an authoritative disconnect, not an
+  // error. answer_view stays pristine-only and rejects the view either way.
+  const HhcTopology net{2};
+  PathService service{net};
+  core::FaultModel faults;
+  faults.fail_node(7);
+
+  const auto alive = service.answer(PairQuery{.s = 9, .t = 9, .faults = &faults});
+  EXPECT_EQ(alive.outcome, RouteOutcome::kOk);
+  EXPECT_EQ(alive.level, DegradationLevel::kGuaranteed);
+  ASSERT_EQ(alive.paths.size(), 1u);
+  EXPECT_EQ(alive.paths[0], core::Path{9});
+
+  const auto dead = service.answer(PairQuery{.s = 7, .t = 7, .faults = &faults});
+  EXPECT_EQ(dead.outcome, RouteOutcome::kOk);
+  EXPECT_EQ(dead.level, DegradationLevel::kDisconnected);
+  EXPECT_TRUE(dead.paths.empty());
+
+  const std::vector<PairQuery> queries{{.s = 9, .t = 9, .faults = &faults},
+                                       {.s = 7, .t = 7, .faults = &faults}};
+  const auto batch = service.answer(queries);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].paths, alive.paths);
+  EXPECT_EQ(batch[0].level, alive.level);
+  EXPECT_EQ(batch[1].level, dead.level);
+
+  EXPECT_THROW(
+      (void)service.answer_view(PairQuery{.s = 9, .t = 9, .faults = &faults}),
+      std::invalid_argument);
 }
 
 TEST(PathService, StatsCountQueriesLevelsAndLatency) {
@@ -309,6 +371,169 @@ TEST(PathService, AnswerViewRejectsBadInput) {
   EXPECT_THROW(
       (void)service.answer_view(PairQuery{.s = 0, .t = 60, .faults = &faults}),
       std::invalid_argument);
+}
+
+TEST(PathService, ExpiredDeadlineAnswersTimedOutNotWrong) {
+  const HhcTopology net{2};
+  PathService service{net};
+  PairQuery query{.s = 0, .t = 60};
+  query.deadline = util::Deadline::after_micros(0.0);
+  const auto result = service.answer(query);
+  EXPECT_EQ(result.outcome, RouteOutcome::kTimedOut);
+  EXPECT_TRUE(result.paths.empty());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.guaranteed + stats.best_effort + stats.disconnected +
+                stats.shed + stats.timed_out + stats.invalid,
+            stats.queries);
+}
+
+TEST(PathService, CancellationTokenAbandonsTheQuery) {
+  const HhcTopology net{2};
+  PathService service{net};
+  util::CancellationToken token;
+  token.cancel();
+  PairQuery query{.s = 0, .t = 60};
+  query.cancel = &token;
+  EXPECT_EQ(service.answer(query).outcome, RouteOutcome::kTimedOut);
+
+  token.reset();
+  EXPECT_EQ(service.answer(query).outcome, RouteOutcome::kOk);
+}
+
+TEST(PathService, NoDeadlineAnswersAreBitIdenticalToTheUnlimitedService) {
+  // The acceptance pin for the whole overload layer: with no deadline and
+  // an inert admission config, answers are bit-identical to a service
+  // without the layer (the construction itself is untouched).
+  const HhcTopology net{2};
+  PathService plain{net};
+  PathService gated{net, {.admission = {.max_in_flight = 64,
+                                        .policy = AdmissionPolicy::kQueue,
+                                        .breaker_threshold = 8}}};
+  for (const auto& [s, t] : core::sample_pairs(net, 150, 66)) {
+    const auto expected = plain.answer(PairQuery{.s = s, .t = t});
+    const auto actual = gated.answer(PairQuery{.s = s, .t = t});
+    ASSERT_EQ(actual.outcome, RouteOutcome::kOk);
+    EXPECT_EQ(actual.paths, expected.paths);
+    EXPECT_EQ(actual.level, expected.level);
+  }
+}
+
+TEST(PathService, AnswerViewHonorsDeadlines) {
+  const HhcTopology net{2};
+  PathService service{net};
+  PairQuery query{.s = 0, .t = 60};
+  query.deadline = util::Deadline::after_micros(0.0);
+  const RouteView view = service.answer_view(query);
+  EXPECT_EQ(view.outcome, RouteOutcome::kTimedOut);
+  EXPECT_FALSE(view.ok());
+  EXPECT_EQ(service.stats().timed_out, 1u);
+}
+
+TEST(PathService, OverloadDegradesFaultAwareAnswersToShed) {
+  // EWMA overload + blocked container: the survivor BFS is skipped, and
+  // the non-authoritative "couldn't check" is reported as kShed — never as
+  // an authoritative kOk/kDisconnected.
+  const HhcTopology net{2};
+  PathServiceConfig config;
+  config.admission.ewma_alpha = 1.0;
+  config.admission.overload_latency_us = 1e-3;  // any sample overloads
+  PathService service{net, config};
+
+  // A completed answer seeds the EWMA past the threshold.
+  (void)service.answer(PairQuery{.s = 0, .t = 60});
+  ASSERT_TRUE(service.gate().overloaded());
+
+  // Block every container path via its SECOND edge (link faults, so every
+  // node stays alive and s keeps its full neighborhood); without overload
+  // this pair would get a BFS fallback around the three dead links.
+  const auto container = core::node_disjoint_paths(net, 0, 60);
+  core::FaultModel faults;
+  for (const auto& path : container.paths) {
+    ASSERT_GE(path.size(), 3u);
+    faults.fail_link(path[1], path[2]);
+  }
+
+  const auto degraded =
+      service.answer(PairQuery{.s = 0, .t = 60, .faults = &faults});
+  EXPECT_EQ(degraded.outcome, RouteOutcome::kShed);
+  EXPECT_TRUE(degraded.paths.empty());
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.degraded_admissions, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_GT(stats.ewma_latency_us, 0.0);
+
+  // The same query on a non-overloaded service proves the fallback was
+  // what got skipped.
+  PathService relaxed{net};
+  const auto full =
+      relaxed.answer(PairQuery{.s = 0, .t = 60, .faults = &faults});
+  EXPECT_EQ(full.outcome, RouteOutcome::kOk);
+  EXPECT_EQ(full.level, DegradationLevel::kBestEffort);
+}
+
+TEST(PathService, BreakerShortCircuitsRepeatedDisconnectsUntilEpochAdvance) {
+  const HhcTopology net{2};
+  PathServiceConfig config;
+  config.admission.breaker_threshold = 2;
+  PathService service{net, config};
+
+  core::FaultModel faults;
+  faults.fail_node(60);  // dead endpoint: authoritative disconnect
+  const PairQuery query{.s = 0, .t = 60, .faults = &faults};
+
+  EXPECT_EQ(service.answer(query).level, DegradationLevel::kDisconnected);
+  EXPECT_EQ(service.answer(query).level, DegradationLevel::kDisconnected);
+  // Streak hit the threshold: the third query is shed, not re-swept.
+  EXPECT_EQ(service.answer(query).outcome, RouteOutcome::kShed);
+  EXPECT_EQ(service.answer(query).outcome, RouteOutcome::kShed);
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breaker_short_circuits, 2u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.disconnected, 2u);
+
+  // The fault landscape changed (say, the node was repaired): every pair
+  // gets a fresh authoritative check.
+  service.advance_fault_epoch();
+  core::FaultModel repaired;
+  const auto back =
+      service.answer(PairQuery{.s = 0, .t = 60, .faults = &repaired});
+  EXPECT_EQ(back.outcome, RouteOutcome::kOk);
+  EXPECT_NE(back.level, DegradationLevel::kDisconnected);
+}
+
+TEST(PathService, OutcomeCountersLandInTheGlobalMetricRegistry) {
+  const HhcTopology net{2};
+  auto& registry = obs::MetricRegistry::global();
+  const std::uint64_t shed_before =
+      registry.counter(obs::stages::kShedCount).get();
+  const std::uint64_t timeout_before =
+      registry.counter(obs::stages::kTimedOutCount).get();
+
+  PathServiceConfig config;
+  config.admission.breaker_threshold = 1;
+  PathService service{net, config};
+
+  PairQuery expired{.s = 0, .t = 60};
+  expired.deadline = util::Deadline::after_micros(0.0);
+  (void)service.answer(expired);
+
+  core::FaultModel faults;
+  faults.fail_node(60);
+  const PairQuery dead{.s = 0, .t = 60, .faults = &faults};
+  (void)service.answer(dead);  // trips the breaker (threshold 1)
+  (void)service.answer(dead);  // short-circuits to kShed
+
+  EXPECT_EQ(registry.counter(obs::stages::kShedCount).get(), shed_before + 1);
+  EXPECT_EQ(registry.counter(obs::stages::kTimedOutCount).get(),
+            timeout_before + 1);
+  EXPECT_GE(registry.counter(obs::stages::kBreakerTripCount).get(), 1u);
+  EXPECT_GE(registry.counter(obs::stages::kBreakerShortCircuitCount).get(),
+            1u);
 }
 
 }  // namespace

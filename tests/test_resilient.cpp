@@ -4,6 +4,7 @@
 
 #include "core/disjoint.hpp"
 #include "sim/resilient.hpp"
+#include "util/rng.hpp"
 
 namespace hhc::sim {
 namespace {
@@ -184,6 +185,71 @@ TEST(Resilient, BackoffSurvivesTransientLinkFault) {
   const auto r = backoff_retry_transfer(net, s, t, faults);
   ASSERT_TRUE(r.delivered);
   EXPECT_GT(r.attempts, 1u);
+}
+
+TEST(Resilient, JitteredWaitStaysInTheHalfJitterWindow) {
+  util::Xoshiro256 rng{123};
+  EXPECT_EQ(jittered_wait(0, rng), 0u);
+  for (const std::uint64_t wait : {1ULL, 2ULL, 7ULL, 64ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t jittered = jittered_wait(wait, rng);
+      EXPECT_GE(jittered, wait - wait / 2);
+      EXPECT_LE(jittered, wait);
+    }
+  }
+}
+
+TEST(Resilient, JitterSeedZeroKeepsTheHistoricalSchedule) {
+  // jitter_seed = 0 is the compatibility contract: the attempt schedule is
+  // bit-identical to what the un-jittered protocol always produced, so old
+  // callers (and old experiment numbers) are untouched by the new knob.
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  core::FaultModel faults;
+  for (const auto& path : container.paths) {
+    faults.fail_node(path[path.size() / 2], /*fail_time=*/0,
+                     /*repair_time=*/16);
+  }
+  const auto legacy = backoff_retry_transfer(net, s, t, faults);
+  const auto pinned = backoff_retry_transfer(net, s, t, faults,
+                                             /*max_attempts=*/8,
+                                             /*jitter_seed=*/0);
+  EXPECT_EQ(legacy.delivered, pinned.delivered);
+  EXPECT_EQ(legacy.completion_cycles, pinned.completion_cycles);
+  EXPECT_EQ(legacy.attempts, pinned.attempts);
+  EXPECT_EQ(legacy.wasted_transmissions, pinned.wasted_transmissions);
+}
+
+TEST(Resilient, JitteredBackoffIsAPureFunctionOfTheSeed) {
+  const HhcTopology net{2};
+  const Node s = net.encode(0, 0);
+  const Node t = net.encode(13, 2);
+  const auto container = core::node_disjoint_paths(net, s, t);
+  core::FaultModel faults;
+  for (const auto& path : container.paths) {
+    faults.fail_node(path[path.size() / 2], /*fail_time=*/0,
+                     /*repair_time=*/16);
+  }
+  const auto plain = backoff_retry_transfer(net, s, t, faults);
+  const auto a = backoff_retry_transfer(net, s, t, faults,
+                                        /*max_attempts=*/8,
+                                        /*jitter_seed=*/42);
+  const auto b = backoff_retry_transfer(net, s, t, faults,
+                                        /*max_attempts=*/8,
+                                        /*jitter_seed=*/42);
+  // Same seed, same schedule — cycle for cycle.
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.completion_cycles, b.completion_cycles);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.wasted_transmissions, b.wasted_transmissions);
+  // Half-jitter only ever shortens waits, so the jittered sender can't
+  // finish later than the deterministic one — and the outage window still
+  // gates success.
+  ASSERT_TRUE(a.delivered);
+  EXPECT_LE(a.completion_cycles, plain.completion_cycles);
+  EXPECT_GE(a.completion_cycles, 16u);
 }
 
 TEST(Resilient, DispersalFasterThanSerialUnderFaults) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -121,6 +122,89 @@ TEST(ThreadPool, UsableAfterException) {
   pool.submit([&] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Shutdown semantics pin: tasks already queued when the destructor runs
+  // are executed, not dropped — the worker predicate keeps draining until
+  // the queue is empty even after stopping_ is set. A service that sheds
+  // at submit time (try_submit) relies on this: once a task is accepted it
+  // WILL run, so an accepted query can never get stuck.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{1};
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    // These queue up behind the blocker and must still run during ~ThreadPool.
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    release.store(true);
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ConsecutiveFailingParallelForBatchesRethrowTheirOwnError) {
+  // parallel_for flavor of the clean-first_error_ pin: each failing batch
+  // surfaces ITS error, not a stale one from the previous batch.
+  ThreadPool pool{2};
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) {
+      throw std::runtime_error("pf-batch-1");
+    });
+    FAIL() << "batch 1 error not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "pf-batch-1");
+  }
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) {
+      throw std::runtime_error("pf-batch-2");
+    });
+    FAIL() << "batch 2 error not rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "pf-batch-2");
+  }
+}
+
+TEST(ThreadPool, TrySubmitRefusesBeyondTheQueueBound) {
+  ThreadPool pool{1};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();  // queue is empty now
+  // The single worker is parked, so accepted tasks stay queued and the
+  // bound is exact: 3 fit, the 4th is refused.
+  int accepted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pool.try_submit([&] { ran.fetch_add(1); }, 2)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 3);  // refused tasks never run
+}
+
+TEST(ThreadPool, TrySubmitZeroBoundAdmitsOnlyIntoAnEmptyQueue) {
+  ThreadPool pool{1};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();  // queue is empty now
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.try_submit([&] { ran.fetch_add(1); }, 0));
+  EXPECT_FALSE(pool.try_submit([&] { ran.fetch_add(1); }, 0));
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPool, ParallelSumMatchesSerial) {
