@@ -42,7 +42,7 @@ void BM_CachedConstruction(benchmark::State& state) {
     const auto& [s, t] = pairs[i++ & 255];
     const core::Node hot = net.encode(net.cluster_of(t), 0);
     if (s == hot) continue;
-    benchmark::DoNotOptimize(cache.paths(s, hot));
+    benchmark::DoNotOptimize(cache.lookup(s, hot));
   }
   state.SetLabel("entries=" + std::to_string(cache.size()));
 }
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     core::ContainerCache cache{net};
     sw.reset();
     for (const auto& [s, t] : queries) {
-      benchmark::DoNotOptimize(cache.paths(s, t));
+      benchmark::DoNotOptimize(cache.lookup(s, t));
     }
     const double cached_ms = sw.millis();
     table.row()

@@ -222,6 +222,10 @@ void emit_json(const std::vector<SweepRow>& rows,
       .key("mode").value(smoke ? "smoke" : "full")
       .key("pair_pool").value(static_cast<std::uint64_t>(g_pair_pool))
       .key("queries_total").value(static_cast<std::uint64_t>(g_queries_total))
+      // Lets consumers (the CI scaling assert) judge whether the thread
+      // sweep could physically scale on the machine that produced it.
+      .key("hardware_threads")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
       .key("results").begin_array();
   for (const SweepRow& row : rows) {
     json.begin_object()
@@ -267,7 +271,9 @@ int main(int argc, char** argv) {
   if (smoke) {
     g_pair_pool = 1024;
     g_queries_total = 20000;
-    max_threads = 2;
+    // The full 1..8 sweep even in smoke mode: the CI scaling assert needs
+    // the 8-thread hot-skew row, and 20k queries keep each row sub-second.
+    max_threads = 8;
   }
 
   const core::HhcTopology net{4};

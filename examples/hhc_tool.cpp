@@ -199,15 +199,19 @@ int cmd_trace(const util::Options& opts) {
   std::printf("\n\n");
 
   util::Table table{{"stage", "count", "p50 us", "p99 us", "max us"}};
-  for (const auto& [name, hist] :
-       obs::MetricRegistry::global().snapshot().histograms) {
-    if (hist.count == 0) continue;
+  // One snapshot via the unified stats surface: the per-stage histograms
+  // arrive as distribution rows of ServiceStats::rows().
+  for (const core::StatRow& row : service.stats().rows()) {
+    if (row.kind != core::StatRow::Kind::kDist || row.section != "histogram" ||
+        row.count == 0) {
+      continue;
+    }
     table.row()
-        .add(name)
-        .add(hist.count)
-        .add(hist.percentile(0.50), 1)
-        .add(hist.percentile(0.99), 1)
-        .add(hist.max_value, 1);
+        .add(row.name)
+        .add(row.count)
+        .add(row.p50, 1)
+        .add(row.p99, 1)
+        .add(row.max, 1);
   }
   table.print(std::cout,
               "per-stage latency (m=" + std::to_string(m) + ", " +

@@ -2,14 +2,38 @@
 
 #include <algorithm>
 #include <bit>
-#include <iterator>
 #include <stdexcept>
 #include <utility>
 
+#include "core/io.hpp"
 #include "obs/stages.hpp"
 #include "obs/trace.hpp"
 
 namespace hhc::core {
+
+std::vector<StatRow> CacheStats::rows() const {
+  std::vector<StatRow> rows;
+  rows.reserve(5 + 2 * shards.size());
+  rows.push_back(stat_scalar("cache", "entries", std::uint64_t{entries}));
+  rows.push_back(stat_scalar("cache", "hits", std::uint64_t{hits}));
+  rows.push_back(stat_scalar("cache", "misses", std::uint64_t{misses}));
+  rows.push_back(stat_scalar("cache", "evictions", std::uint64_t{evictions}));
+  rows.push_back(stat_scalar("cache", "hit_rate", hit_rate()));
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::string section = "cache.shard" + std::to_string(i);
+    rows.push_back(
+        stat_scalar(section, "entries", std::uint64_t{shards[i].entries}));
+    rows.push_back(
+        stat_scalar(section, "evictions", std::uint64_t{shards[i].evictions}));
+  }
+  return rows;
+}
+
+namespace {
+
+constexpr std::size_t kNoVictim = static_cast<std::size_t>(-1);
+
+}  // namespace
 
 ContainerCache::ContainerCache(const HhcTopology& net)
     : ContainerCache(net, Config{}) {}
@@ -18,13 +42,61 @@ ContainerCache::ContainerCache(const HhcTopology& net, Config config)
     : net_{net}, config_{config} {
   const std::size_t requested = config_.shards == 0 ? 1 : config_.shards;
   shards_.resize(std::bit_ceil(requested));
+  // A load ceiling outside (10, 90] percent is a misconfiguration that
+  // would either loop the grow logic or degrade probes to linear scans.
+  config_.max_load_percent = std::clamp<std::size_t>(
+      config_.max_load_percent == 0 ? 50 : config_.max_load_percent, 10, 90);
   // Each shard gets its own decorrelated eviction stream: deterministic
   // per (seed, shard index), independent across shards.
   util::SplitMix64 seeder{config_.eviction_seed};
+  std::size_t capacity_hint = config_.initial_index_capacity;
+  if (config_.max_entries_per_shard > 0) {
+    // A capped shard's index plateaus at the cap; size it to hold the cap
+    // within the load ceiling up front so such shards never grow at all.
+    capacity_hint = std::max(
+        capacity_hint,
+        config_.max_entries_per_shard * 100 / config_.max_load_percent + 1);
+  }
   for (auto& shard : shards_) {
     shard = std::make_unique<Shard>();
     shard->eviction_rng = util::Xoshiro256{seeder.next()};
+    if (capacity_hint > 0) {
+      // Pre-publish an empty pre-sized index so early inserts skip the
+      // first few grow-republish cycles. (Construction is single-threaded;
+      // the version bump still marks this as publication number one so
+      // readers' zero-stamped TLS entries refresh onto it.)
+      auto index = std::make_shared<ShardIndex>();
+      index->slots.resize(std::bit_ceil(capacity_hint));
+      shard->index = std::move(index);
+      shard->version.store(1, std::memory_order_release);
+    }
   }
+}
+
+std::uint64_t ContainerCache::next_shard_id() noexcept {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+const ContainerCache::ShardIndex* ContainerCache::snapshot(Shard& shard) {
+  struct Entry {
+    std::uint64_t version = 0;
+    std::shared_ptr<const ShardIndex> index;
+  };
+  thread_local std::vector<Entry> tls_pins;
+  if (shard.id >= tls_pins.size()) tls_pins.resize(shard.id + 1);
+  Entry& entry = tls_pins[shard.id];
+  // Fresh TLS entries carry stamp 0, matching the never-published state's
+  // null index, so the no-publications-yet case needs no refresh either.
+  const std::uint64_t version = shard.version.load(std::memory_order_acquire);
+  if (entry.version != version) {
+    std::lock_guard lock{shard.mutex};
+    entry.index = shard.index;
+    // Re-read under the lock: a publication that slipped in since the
+    // check above must not leave a stale stamp pinned to the new index.
+    entry.version = shard.version.load(std::memory_order_relaxed);
+  }
+  return entry.index.get();
 }
 
 std::size_t ContainerHandle::max_length() const noexcept {
@@ -51,14 +123,39 @@ DisjointPathSet ContainerHandle::materialize() const {
   return set;
 }
 
-DisjointPathSet ContainerCache::paths(Node s, Node t) {
-  return paths(s, t, config_.options);
+void ContainerCache::ShardIndex::insert(
+    const Key& key, std::shared_ptr<const FlatContainer> value) {
+  const std::size_t mask = slots.size() - 1;
+  std::size_t i = KeyHash{}(key) & mask;
+  while (slots[i].value != nullptr) i = (i + 1) & mask;
+  slots[i].key = key;
+  slots[i].value = std::move(value);
+  ++size;
 }
 
-DisjointPathSet ContainerCache::paths(Node s, Node t,
-                                      const ConstructionOptions& options,
-                                      bool* cache_hit) {
-  return lookup(s, t, options, cache_hit).materialize();
+std::shared_ptr<ContainerCache::ShardIndex const> ContainerCache::rebuild_index(
+    const ShardIndex* old, std::size_t victim, const Key& key,
+    std::shared_ptr<const FlatContainer> value) const {
+  const std::size_t old_size = old == nullptr ? 0 : old->size;
+  const std::size_t entries = old_size - (victim != kNoVictim ? 1 : 0) + 1;
+  std::size_t capacity = old != nullptr && !old->slots.empty()
+                             ? old->slots.size()
+                             : std::bit_ceil(std::max<std::size_t>(
+                                   config_.initial_index_capacity, 16));
+  while (entries * 100 > capacity * config_.max_load_percent) capacity <<= 1;
+
+  auto next = std::make_shared<ShardIndex>();
+  next->slots.resize(capacity);
+  if (old != nullptr) {
+    std::size_t ordinal = 0;
+    for (const ShardIndex::Slot& slot : old->slots) {
+      if (slot.value == nullptr) continue;
+      if (ordinal++ == victim) continue;  // evicted
+      next->insert(slot.key, slot.value);
+    }
+  }
+  next->insert(key, std::move(value));
+  return next;
 }
 
 ContainerHandle ContainerCache::lookup(Node s, Node t) {
@@ -82,75 +179,76 @@ ContainerHandle ContainerCache::lookup(Node s, Node t,
   // XOR with (xs << m) — the handle applies it lazily.
   const Node mask = xs << net_.m();
 
-  {
-    static obs::Histogram& lookup_hist =
-        obs::stage_histogram(obs::stages::kCacheLookup);
-    obs::TraceSpan span{obs::stages::kCacheLookup, &lookup_hist};
-    std::lock_guard lock{shard.mutex};
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
+  // THE hot path: validate this thread's pinned snapshot and probe it. No
+  // mutex, no shared write (the version check is a read; the hit counter
+  // is a thread-private cell), no span (the enclosing answer/answer_view
+  // span times hits; keeping the hit path span-free is what holds
+  // enabled-tracing overhead under 5%).
+  if (const ShardIndex* index = snapshot(shard)) {
+    if (const auto* found = index->find(key)) {
+      hits_.add();
       if (cache_hit != nullptr) *cache_hit = true;
-      return ContainerHandle{it->second, mask};
+      return ContainerHandle{*found, mask};
     }
   }
 
   // Miss: run the (expensive, deterministic) construction without holding
-  // any lock, then publish. A racing thread may have inserted meanwhile;
-  // its result is byte-for-byte the same, so first insert wins and the
+  // any lock, then build-and-swap a new index under the writer mutex. A
+  // racing thread may have published the key meanwhile; its result is
+  // byte-for-byte the same, so the first publication wins and the
   // duplicate work is discarded.
-  static obs::Histogram& construct_hist =
-      obs::stage_histogram(obs::stages::kConstruct);
-  obs::TraceSpan span{obs::stages::kConstruct, &construct_hist};
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  misses_.add();
   if (cache_hit != nullptr) *cache_hit = false;
-  const Node cs = net_.encode(0, key.ys);
-  const Node ct = net_.encode(key.xdiff, key.yt);
-  const DisjointPathSetRef canonical =
-      node_disjoint_paths(net_, cs, ct, options, tls_construction_scratch());
-  auto flat = std::make_shared<FlatContainer>();
-  flat->offsets.reserve(canonical.paths.size() + 1);
-  flat->offsets.push_back(0);
-  std::size_t total = 0;
-  for (const PathRef p : canonical.paths) total += p.size();
-  flat->nodes.reserve(total);
-  for (const PathRef p : canonical.paths) {
-    flat->nodes.insert(flat->nodes.end(), p.begin(), p.end());
-    flat->offsets.push_back(static_cast<std::uint32_t>(flat->nodes.size()));
+  std::shared_ptr<const FlatContainer> flat;
+  {
+    static obs::Histogram& construct_hist =
+        obs::stage_histogram(obs::stages::kConstruct);
+    obs::TraceSpan span{obs::stages::kConstruct, &construct_hist};
+    const Node cs = net_.encode(0, key.ys);
+    const Node ct = net_.encode(key.xdiff, key.yt);
+    const DisjointPathSetRef canonical =
+        node_disjoint_paths(net_, cs, ct, options, tls_construction_scratch());
+    auto built = std::make_shared<FlatContainer>();
+    built->offsets.reserve(canonical.paths.size() + 1);
+    built->offsets.push_back(0);
+    std::size_t total = 0;
+    for (const PathRef p : canonical.paths) total += p.size();
+    built->nodes.reserve(total);
+    for (const PathRef p : canonical.paths) {
+      built->nodes.insert(built->nodes.end(), p.begin(), p.end());
+      built->offsets.push_back(static_cast<std::uint32_t>(built->nodes.size()));
+    }
+    flat = std::move(built);
   }
 
+  static obs::Histogram& publish_hist =
+      obs::stage_histogram(obs::stages::kCachePublish);
+  obs::TraceSpan span{obs::stages::kCachePublish, &publish_hist};
   std::lock_guard lock{shard.mutex};
-  if (config_.max_entries_per_shard > 0 &&
-      shard.map.size() >= config_.max_entries_per_shard &&
-      shard.map.find(key) == shard.map.end()) {
+  const ShardIndex* current = shard.index.get();
+  if (current != nullptr) {
+    if (const auto* found = current->find(key)) {
+      // Lost the publication race; serve the winner's identical entry.
+      // (This thread's TLS pin refreshes on its next lookup here.)
+      return ContainerHandle{*found, mask};
+    }
+  }
+  std::size_t victim = kNoVictim;
+  if (config_.max_entries_per_shard > 0 && current != nullptr &&
+      current->size >= config_.max_entries_per_shard) {
     // Random replacement, for real: a uniformly random resident entry from
-    // the shard's seeded stream. The O(capacity) victim walk is noise next
-    // to the construction this miss just performed.
-    auto victim = shard.map.begin();
-    std::advance(victim, static_cast<std::ptrdiff_t>(
-                             shard.eviction_rng.below(shard.map.size())));
-    shard.map.erase(victim);
+    // the shard's seeded stream (selected by occupied-slot ordinal, so the
+    // choice is deterministic per seed). The O(capacity) clone below is
+    // noise next to the construction this miss just performed.
+    victim = shard.eviction_rng.below(current->size);
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  const auto [it, inserted] = shard.map.try_emplace(key, std::move(flat));
-  (void)inserted;
-  return ContainerHandle{it->second, mask};
-}
-
-std::size_t ContainerCache::hits() const noexcept {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->hits.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-std::size_t ContainerCache::misses() const noexcept {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->misses.load(std::memory_order_relaxed);
-  }
-  return total;
+  std::shared_ptr<const ShardIndex> next =
+      rebuild_index(current, victim, key, std::move(flat));
+  const auto* inserted = next->find(key);
+  shard.index = std::move(next);
+  shard.version.fetch_add(1, std::memory_order_release);
+  return ContainerHandle{*inserted, mask};
 }
 
 std::size_t ContainerCache::evictions() const noexcept {
@@ -165,7 +263,7 @@ std::size_t ContainerCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard lock{shard->mutex};
-    total += shard->map.size();
+    if (shard->index != nullptr) total += shard->index->size;
   }
   return total;
 }
@@ -177,28 +275,27 @@ CacheStats ContainerCache::stats() const {
     CacheShardStats row;
     {
       std::lock_guard lock{shard->mutex};
-      row.entries = shard->map.size();
+      if (shard->index != nullptr) row.entries = shard->index->size;
     }
-    row.hits = shard->hits.load(std::memory_order_relaxed);
-    row.misses = shard->misses.load(std::memory_order_relaxed);
     row.evictions = shard->evictions.load(std::memory_order_relaxed);
     stats.entries += row.entries;
-    stats.hits += row.hits;
-    stats.misses += row.misses;
     stats.evictions += row.evictions;
     stats.shards.push_back(row);
   }
+  stats.hits = hits_.fold();
+  stats.misses = misses_.fold();
   return stats;
 }
 
 void ContainerCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard lock{shard->mutex};
-    shard->map.clear();
-    shard->hits.store(0, std::memory_order_relaxed);
-    shard->misses.store(0, std::memory_order_relaxed);
+    shard->index = nullptr;
     shard->evictions.store(0, std::memory_order_relaxed);
+    shard->version.fetch_add(1, std::memory_order_release);
   }
+  hits_.reset();
+  misses_.reset();
 }
 
 }  // namespace hhc::core

@@ -1,5 +1,5 @@
-// Sharded, thread-safe, translation-canonical memoization of disjoint-path
-// containers.
+// Sharded, translation-canonical memoization of disjoint-path containers
+// with a LOCK-FREE read path.
 //
 // The construction commutes with cluster translation (tested metamorphically
 // in test_hhc_disjoint.cpp): the container for (Xs, Ys) -> (Xt, Yt) is the
@@ -10,32 +10,64 @@
 // repeated-workload simulations (hotspot traffic, permutation re-runs,
 // retransmissions) into cache hits followed by an O(container size) relabel.
 //
-// Concurrency: the key space is split into `shards` independent
-// unordered_maps, each behind its own mutex, with the canonical key hash
-// selecting the shard. Counters are lock-free atomics so the hot hit path
-// pays one short critical section (find + relabel) and no shared-counter
-// contention. Misses run the construction OUTSIDE any lock; two threads
-// missing the same key may both construct, but the construction is
-// deterministic so the loser's duplicate is simply discarded — results stay
-// bit-identical to node_disjoint_paths(net, s, t, options) either way.
+// Concurrency model (RCU-style published snapshots; DESIGN.md §9):
 //
-// clear() takes every shard lock and must not race with concurrent paths()
-// callers that still want their results counted; it resets BOTH the stored
-// containers and the hit/miss/eviction counters, so a cleared cache is
-// indistinguishable from a fresh one (the previous behavior — counters
-// surviving clear() — made post-clear hit rates unintelligible).
+//   * Each shard PUBLISHES an immutable ShardIndex — an open-addressing
+//     table of (key, shared FlatContainer) slots. A publication bumps the
+//     shard's atomic version counter; every thread keeps a version-stamped
+//     shared_ptr to its last-seen snapshot in TLS (keyed by a never-reused
+//     shard id, the util::StripedCounter identity scheme). The steady-state
+//     hit path is ONE acquire load of the version — a read of a line no
+//     reader ever writes — plus a linear probe of the thread's pinned
+//     snapshot: no mutex, no shared write, no allocation. Readers of one
+//     snapshot never observe a concurrent writer's mutation, because
+//     writers never mutate a published index.
+//     (Why not std::atomic<std::shared_ptr>? libstdc++'s _Sp_atomic takes
+//     an internal spin lock — a CAS, i.e. a shared WRITE, on every load —
+//     and unlocks reads with a relaxed RMW, which is a formal data race on
+//     its pointer field that ThreadSanitizer rightly reports. The version
+//     + TLS-pin scheme is wait-free on hits and TSan-clean.)
+//   * Writers (cache misses) run the construction OUTSIDE any lock, then
+//     take the shard mutex, clone the current index into a new table
+//     (applying eviction if the shard is at capacity), insert, swap the
+//     published pointer, and bump the version. A reader whose TLS stamp is
+//     stale refreshes by taking that mutex just long enough to copy the
+//     new shared_ptr — once per publication per thread, never on a
+//     steady-state hit. Two threads missing the same key may both
+//     construct, but the construction is deterministic, so the loser's
+//     duplicate is discarded — results stay bit-identical to
+//     node_disjoint_paths(net, s, t, options) either way.
+//   * Reclamation is the shared_ptr refcount: a swapped-out index stays
+//     alive until the last TLS pin moves on (next refresh or thread exit);
+//     the FlatContainers inside are themselves shared with every
+//     outstanding ContainerHandle, so an entry outlives both its index AND
+//     its eviction for as long as any handle pins it.
+//   * Hit/miss counters are per-thread striped cells (util::StripedCounter)
+//     folded on stats()/hits()/misses() — the read path writes only
+//     thread-private memory. Evictions are counted under the shard mutex.
+//
+// clear() takes every shard mutex, swaps every shard to an empty index,
+// and resets ALL counters, so a cleared cache is indistinguishable from a
+// fresh one. Outstanding handles and in-flight snapshot readers are
+// unaffected (their shared_ptrs keep the old state alive).
+//
+// API contract (PR 7 redesign): lookup() is THE read path — it returns a
+// borrowed ContainerHandle off the published snapshot. The legacy
+// materializing paths() accessor is gone; call lookup(...).materialize()
+// where an owning DisjointPathSet is genuinely needed.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "core/disjoint.hpp"
 #include "core/topology.hpp"
 #include "util/rng.hpp"
+#include "util/striped.hpp"
 
 namespace hhc::core {
 
@@ -55,10 +87,15 @@ struct FlatContainer {
 ///   encode(cluster_of(v) ^ Xs, position_of(v)) == v ^ (Xs << m).
 /// So a handle is just {shared FlatContainer, XOR mask}: a cache hit copies
 /// one shared_ptr (no allocation, no node copying) and node() applies the
-/// mask on the fly. The handle keeps its container alive even if the cache
-/// entry is evicted afterwards (shared ownership), so holding one is always
-/// safe. materialize() produces the same owning DisjointPathSet the legacy
-/// copying API returns, bit for bit.
+/// mask on the fly.
+///
+/// Lifetime contract: the handle SHARES OWNERSHIP of its container. It
+/// remains valid — and keeps answering the same bits — after the source
+/// entry is evicted, after the shard republishes its index any number of
+/// times, after clear(), and after the ContainerCache itself is destroyed.
+/// Holding a handle is therefore always safe; what it pins is the one
+/// FlatContainer (nodes + offsets), not the cache. materialize() produces
+/// the same owning DisjointPathSet the construction returns, bit for bit.
 class ContainerHandle {
  public:
   ContainerHandle() = default;
@@ -95,15 +132,18 @@ class ContainerHandle {
   Node mask_ = 0;
 };
 
-/// Point-in-time counters for one shard of the cache.
+struct StatRow;  // core/io.hpp
+
+/// Point-in-time per-shard state. Hit/miss counters are cache-global (the
+/// striped cells are not shard-attributed — see stats() doc); what a shard
+/// owns is its resident entries and its eviction count.
 struct CacheShardStats {
   std::size_t entries = 0;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
   std::size_t evictions = 0;
 };
 
 /// Aggregate + per-shard snapshot, as returned by ContainerCache::stats().
+/// All counters are folded/read at one point in time (one clock).
 struct CacheStats {
   std::size_t entries = 0;
   std::size_t hits = 0;
@@ -116,6 +156,11 @@ struct CacheStats {
     return total == 0 ? 0.0
                       : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  /// The snapshot as unified core::StatRow rows (section "cache" for the
+  /// aggregate, "cache.shard<i>" per shard) so cache telemetry renders with
+  /// the same core::io schema as service stats and the metrics registry.
+  [[nodiscard]] std::vector<StatRow> rows() const;
 };
 
 class ContainerCache {
@@ -129,18 +174,26 @@ class ContainerCache {
     /// resident entry is displaced per insert (drawn from a per-shard
     /// seeded util::Xoshiro256, so runs are reproducible) and counted as an
     /// eviction. Random replacement is cheap and good enough for the
-    /// skewed workloads the cache exists for; the O(capacity) victim walk
-    /// is dominated by the construction the miss just paid for.
+    /// skewed workloads the cache exists for; the O(capacity) clone the
+    /// publication pays is dominated by the construction the miss just ran.
     std::size_t max_entries_per_shard = 0;
     /// Seed for the per-shard eviction RNGs (each shard derives its own
     /// stream, so eviction choices are deterministic per configuration).
     std::uint64_t eviction_seed = 0x9d1f2c3b4a596877ULL;
+    /// Publication knob: slots pre-sized into each shard's FIRST published
+    /// index (rounded up to a power of two). A good guess (≈ 2x the
+    /// expected resident entries) avoids the first few grow-republish
+    /// cycles; 0 picks a small default. Capped shards size themselves off
+    /// max_entries_per_shard regardless.
+    std::size_t initial_index_capacity = 0;
+    /// Publication knob: per-index load-factor ceiling in percent (the
+    /// probe-length / memory trade). An insert that would push occupancy
+    /// past this grows the cloned table to the next power of two.
+    std::size_t max_load_percent = 50;
   };
 
   /// The topology is held by reference (like sim::NetworkSimulator and every
   /// other consumer): the caller keeps it alive for the cache's lifetime.
-  /// Copying it per cache was both wasteful and a trap — a cache built from
-  /// a temporary silently outlived its network.
   /// (Two overloads rather than `Config config = {}`: gcc rejects a nested
   /// class's default member initializers in a default argument while the
   /// enclosing class is still open.)
@@ -150,33 +203,29 @@ class ContainerCache {
   ContainerCache(const ContainerCache&) = delete;
   ContainerCache& operator=(const ContainerCache&) = delete;
 
-  /// The m+1 node-disjoint paths for s -> t under the cache's default
-  /// options. Thread-safe; results are bit-identical to
-  /// node_disjoint_paths(net, s, t, options) (asserted by tests).
-  [[nodiscard]] DisjointPathSet paths(Node s, Node t);
-
-  /// Same, with per-call options (kept as a distinct cache entry). If
-  /// `cache_hit` is non-null it receives whether this call was served
-  /// without running the construction.
-  [[nodiscard]] DisjointPathSet paths(Node s, Node t,
-                                      const ConstructionOptions& options,
-                                      bool* cache_hit = nullptr);
-
-  /// Zero-copy lookup: the borrowed-view fast path. A hit performs no
-  /// construction, no node copying, and no heap allocation — it copies one
-  /// shared_ptr under the shard lock and XORs lazily through the handle.
-  /// paths() above is exactly lookup() + materialize().
+  /// THE read path. A steady-state hit performs no construction, no node
+  /// copying, no heap allocation, and takes NO lock: one acquire load of
+  /// the shard version, a probe of the thread's pinned immutable snapshot,
+  /// one shared_ptr copy, and a per-thread counter bump. A miss runs the
+  /// construction outside any lock, then publishes a new index under the
+  /// shard mutex (which hits never touch).
+  /// If `cache_hit` is non-null it receives whether this call was served
+  /// without running the construction. Results materialize bit-identically
+  /// to node_disjoint_paths(net, s, t, options) (asserted by tests).
+  /// Throws std::invalid_argument for out-of-range nodes or s == t.
   [[nodiscard]] ContainerHandle lookup(Node s, Node t,
                                        const ConstructionOptions& options,
                                        bool* cache_hit = nullptr);
+  /// Same, under the cache's default options.
   [[nodiscard]] ContainerHandle lookup(Node s, Node t);
 
-  [[nodiscard]] std::size_t hits() const noexcept;
-  [[nodiscard]] std::size_t misses() const noexcept;
+  [[nodiscard]] std::size_t hits() const { return hits_.fold(); }
+  [[nodiscard]] std::size_t misses() const { return misses_.fold(); }
   [[nodiscard]] std::size_t evictions() const noexcept;
-  /// Total resident entries across shards (takes each shard lock briefly).
+  /// Total resident entries across shards (reads each shard's published
+  /// snapshot under its mutex — observability path, not the hot path).
   [[nodiscard]] std::size_t size() const;
-  /// Consistent per-shard + aggregate snapshot.
+  /// Per-shard + aggregate snapshot, folded at one point in time.
   [[nodiscard]] CacheStats stats() const;
 
   /// Drops every entry AND resets all counters (see header comment).
@@ -207,20 +256,76 @@ class ContainerCache {
       return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
     }
   };
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, std::shared_ptr<const FlatContainer>, KeyHash> map;
-    util::Xoshiro256 eviction_rng;  // guarded by mutex (evictions hold it)
-    std::atomic<std::size_t> hits{0};
-    std::atomic<std::size_t> misses{0};
-    std::atomic<std::size_t> evictions{0};
+
+  /// One published, immutable generation of a shard: an open-addressing
+  /// (linear-probe) table over power-of-two slots. value == nullptr marks
+  /// an empty slot. Never mutated after publication; writers clone.
+  struct ShardIndex {
+    struct Slot {
+      Key key{};
+      std::shared_ptr<const FlatContainer> value;
+    };
+    std::vector<Slot> slots;
+    std::size_t size = 0;
+
+    [[nodiscard]] const std::shared_ptr<const FlatContainer>* find(
+        const Key& key) const noexcept {
+      if (slots.empty()) return nullptr;
+      const std::size_t mask = slots.size() - 1;
+      for (std::size_t i = KeyHash{}(key) & mask;; i = (i + 1) & mask) {
+        const Slot& slot = slots[i];
+        if (slot.value == nullptr) return nullptr;
+        if (slot.key == key) return &slot.value;
+      }
+    }
+    /// Build-side insert (pre-publication only; capacity is guaranteed by
+    /// the builder, which keeps occupancy under the load ceiling).
+    void insert(const Key& key, std::shared_ptr<const FlatContainer> value);
   };
+
+  struct Shard {
+    /// Process-unique, never reused: keys each thread's TLS snapshot cache
+    /// (see snapshot()). Stale TLS entries for destroyed caches are inert
+    /// because their ids are never issued again.
+    const std::uint64_t id = next_shard_id();
+    /// Bumped (release) on every publication. The acquire load validating
+    /// a thread's TLS stamp against this counter is the entire
+    /// shared-memory footprint of a steady-state hit.
+    std::atomic<std::uint64_t> version{0};
+    /// Guards `index`, the eviction RNG, and publication. Taken by writers
+    /// (build-then-swap) and by a reader's one-shared_ptr-copy refresh
+    /// after a publication; never by a steady-state hit.
+    std::mutex mutex;
+    std::shared_ptr<const ShardIndex> index;  // current published snapshot
+    util::Xoshiro256 eviction_rng;            // guarded by mutex
+    std::atomic<std::size_t> evictions{0};    // bumped under mutex
+  };
+
+  [[nodiscard]] static std::uint64_t next_shard_id() noexcept;
+
+  /// This thread's pinned snapshot of `shard`, refreshed (under the shard
+  /// mutex) only when the version stamp says a publication happened. The
+  /// returned pointer stays valid until this thread's next lookup on the
+  /// same shard; it may be one publication stale, which is fine: the miss
+  /// path re-probes the live index under the mutex before constructing.
+  [[nodiscard]] static const ShardIndex* snapshot(Shard& shard);
+
+  /// Clones `old` (skipping `victim`, if any), inserts (key, value), and
+  /// returns the new index. Pure build; caller publishes under the writer
+  /// mutex.
+  [[nodiscard]] std::shared_ptr<const ShardIndex> rebuild_index(
+      const ShardIndex* old, std::size_t victim, const Key& key,
+      std::shared_ptr<const FlatContainer> value) const;
 
   const HhcTopology& net_;
   Config config_;
-  // unique_ptr because Shard (mutex + atomics) is neither movable nor
+  // unique_ptr because Shard (atomics + mutex) is neither movable nor
   // copyable; the vector itself is immutable after construction.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Cache-global striped hit/miss cells: the lock-free read path's only
+  // telemetry writes, folded on stats().
+  util::StripedCounter hits_;
+  util::StripedCounter misses_;
 };
 
 }  // namespace hhc::core

@@ -244,4 +244,101 @@ std::string JsonWriter::str() const {
   return out_;
 }
 
+namespace {
+
+std::string format_scalar(const StatRow& row) {
+  if (row.integral) {
+    return std::to_string(static_cast<std::int64_t>(row.value));
+  }
+  return std::to_string(row.value);
+}
+
+}  // namespace
+
+StatRow stat_scalar(std::string section, std::string name,
+                    std::uint64_t value) {
+  StatRow row;
+  row.section = std::move(section);
+  row.name = std::move(name);
+  row.value = static_cast<double>(value);
+  return row;
+}
+
+StatRow stat_scalar(std::string section, std::string name, double value) {
+  StatRow row;
+  row.section = std::move(section);
+  row.name = std::move(name);
+  row.value = value;
+  row.integral = false;
+  return row;
+}
+
+StatRow stat_dist(std::string section, std::string name, std::uint64_t count,
+                  double p50, double p90, double p99, double max) {
+  StatRow row;
+  row.section = std::move(section);
+  row.name = std::move(name);
+  row.kind = StatRow::Kind::kDist;
+  row.count = count;
+  row.p50 = p50;
+  row.p90 = p90;
+  row.p99 = p99;
+  row.max = max;
+  return row;
+}
+
+std::string stat_rows_csv(const std::vector<StatRow>& rows) {
+  std::string out = csv_row({"section", "name", "value", "count", "p50", "p90",
+                             "p99", "max"}) +
+                    "\n";
+  for (const StatRow& row : rows) {
+    if (row.kind == StatRow::Kind::kScalar) {
+      out += csv_row({row.section, row.name, format_scalar(row), "", "", "",
+                      "", ""}) +
+             "\n";
+      continue;
+    }
+    const bool empty = row.count == 0;
+    out += csv_row({row.section, row.name, "", std::to_string(row.count),
+                    empty ? "" : std::to_string(row.p50),
+                    empty ? "" : std::to_string(row.p90),
+                    empty ? "" : std::to_string(row.p99),
+                    std::to_string(row.max)}) +
+           "\n";
+  }
+  return out;
+}
+
+void append_stat_rows(JsonWriter& json, const std::vector<StatRow>& rows) {
+  json.begin_array();
+  for (const StatRow& row : rows) {
+    json.begin_object()
+        .key("section").value(row.section)
+        .key("name").value(row.name);
+    if (row.kind == StatRow::Kind::kScalar) {
+      if (row.integral) {
+        json.key("value").value(static_cast<std::int64_t>(row.value));
+      } else {
+        json.key("value").value(row.value);
+      }
+    } else {
+      json.key("count").value(row.count);
+      if (row.count > 0) {
+        json.key("p50").value(row.p50)
+            .key("p90").value(row.p90)
+            .key("p99").value(row.p99);
+      }
+      json.key("max").value(row.max);
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
+std::string stat_rows_json(const std::vector<StatRow>& rows) {
+  JsonWriter json;
+  append_stat_rows(json, rows);
+  return json.str();
+}
+
 }  // namespace hhc::core

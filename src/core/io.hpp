@@ -71,4 +71,53 @@ class JsonWriter {
   bool key_pending_ = false;
 };
 
+/// One row of the unified stats schema shared by every telemetry surface
+/// (core::CacheStats, query::ServiceStats, the obs::MetricRegistry export).
+/// A row is either a scalar (one number) or a distribution (count +
+/// percentile summary); `section` groups related rows ("cache",
+/// "cache.shard3", "counter", "latency", ...) so one flat table can carry a
+/// whole snapshot without per-producer schemas drifting apart.
+struct StatRow {
+  enum class Kind { kScalar, kDist };
+
+  std::string section;
+  std::string name;
+  Kind kind = Kind::kScalar;
+
+  // kScalar: the value; `integral` selects whole-number rendering.
+  double value = 0.0;
+  bool integral = true;
+
+  // kDist: sample count and the percentile summary (percentiles are
+  // meaningless — and rendered empty/omitted — when count == 0).
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] StatRow stat_scalar(std::string section, std::string name,
+                                  std::uint64_t value);
+[[nodiscard]] StatRow stat_scalar(std::string section, std::string name,
+                                  double value);
+[[nodiscard]] StatRow stat_dist(std::string section, std::string name,
+                                std::uint64_t count, double p50, double p90,
+                                double p99, double max);
+
+/// The canonical CSV rendering: header
+/// `section,name,value,count,p50,p90,p99,max`, one line per row, cells that
+/// don't apply to the row's kind left empty.
+[[nodiscard]] std::string stat_rows_csv(const std::vector<StatRow>& rows);
+
+/// The canonical JSON rendering: a top-level array of row objects. Scalars
+/// carry {"section","name","value"}; distributions carry
+/// {"section","name","count","p50","p90","p99","max"} with the percentile
+/// keys omitted when count == 0.
+[[nodiscard]] std::string stat_rows_json(const std::vector<StatRow>& rows);
+
+/// Emits the same array into an in-progress document (after a key or as an
+/// array element) so callers can embed the rows in a larger report.
+void append_stat_rows(JsonWriter& json, const std::vector<StatRow>& rows);
+
 }  // namespace hhc::core

@@ -4,64 +4,34 @@
 
 namespace hhc::obs {
 
-namespace {
-
-// Histogram cells for a metric row that has none (counters/gauges).
-const std::vector<std::string> kNoHistogramCells{"", "", "", "", ""};
-
-}  // namespace
-
-std::string MetricsSnapshot::to_csv() const {
-  std::string out = core::csv_row({"kind", "name", "value", "count", "p50",
-                                   "p90", "p99", "max"}) +
-                    "\n";
-  const auto row = [&out](const std::string& kind, const std::string& name,
-                          const std::string& value,
-                          const std::vector<std::string>& hist_cells) {
-    std::vector<std::string> cells{kind, name, value};
-    cells.insert(cells.end(), hist_cells.begin(), hist_cells.end());
-    out += core::csv_row(cells) + "\n";
-  };
+std::vector<core::StatRow> MetricsSnapshot::rows() const {
+  std::vector<core::StatRow> rows;
+  rows.reserve(counters.size() + gauges.size() + histograms.size());
   for (const auto& [name, value] : counters) {
-    row("counter", name, std::to_string(value), kNoHistogramCells);
+    rows.push_back(core::stat_scalar("counter", name, value));
   }
   for (const auto& [name, value] : gauges) {
-    row("gauge", name, std::to_string(value), kNoHistogramCells);
+    core::StatRow row = core::stat_scalar("gauge", name, std::uint64_t{0});
+    row.value = static_cast<double>(value);  // gauges may be negative
+    rows.push_back(std::move(row));
   }
   for (const auto& [name, snap] : histograms) {
     const bool empty = snap.count == 0;
-    row("histogram", name, "",
-        {std::to_string(snap.count),
-         empty ? "" : std::to_string(snap.percentile(0.50)),
-         empty ? "" : std::to_string(snap.percentile(0.90)),
-         empty ? "" : std::to_string(snap.percentile(0.99)),
-         std::to_string(snap.max_value)});
+    rows.push_back(core::stat_dist(
+        "histogram", name, snap.count,
+        empty ? 0.0 : snap.percentile(0.50),
+        empty ? 0.0 : snap.percentile(0.90),
+        empty ? 0.0 : snap.percentile(0.99), snap.max_value));
   }
-  return out;
+  return rows;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  return core::stat_rows_csv(rows());
 }
 
 std::string MetricsSnapshot::to_json() const {
-  core::JsonWriter json;
-  json.begin_object().key("counters").begin_object();
-  for (const auto& [name, value] : counters) json.key(name).value(value);
-  json.end_object().key("gauges").begin_object();
-  for (const auto& [name, value] : gauges) {
-    json.key(name).value(static_cast<std::int64_t>(value));
-  }
-  json.end_object().key("histograms").begin_object();
-  for (const auto& [name, snap] : histograms) {
-    json.key(name).begin_object().key("count").value(snap.count);
-    if (snap.count > 0) {
-      json.key("p50").value(snap.percentile(0.50))
-          .key("p90").value(snap.percentile(0.90))
-          .key("p99").value(snap.percentile(0.99));
-    }
-    json.key("max").value(snap.max_value).key("buckets").begin_array();
-    for (const std::uint64_t bucket : snap.buckets) json.value(bucket);
-    json.end_array().end_object();
-  }
-  json.end_object().end_object();
-  return json.str();
+  return core::stat_rows_json(rows());
 }
 
 }  // namespace hhc::obs

@@ -41,6 +41,10 @@
 #include <utility>
 #include <vector>
 
+namespace hhc::core {
+struct StatRow;
+}  // namespace hhc::core
+
 namespace hhc::obs {
 
 /// Monotonic event count. All operations are wait-free relaxed atomics.
@@ -166,13 +170,20 @@ class Histogram {
 
 /// Name-sorted point-in-time view of every registered metric; histogram
 /// entries carry full bucket snapshots. Render with to_csv()/to_json()
-/// (compiled in hhc_obs — they share core::io's emitters).
+/// (compiled in hhc_obs — they share core::io's unified StatRow schema, so
+/// registry exports, cache stats, and service stats all land in one table
+/// shape).
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
 
-  /// kind,name,value,count,p50,p90,p99,max — one row per metric.
+  /// The snapshot as unified stat rows: counters/gauges as scalars under
+  /// sections "counter"/"gauge", histograms as distributions under
+  /// "histogram" (percentiles omitted while empty).
+  [[nodiscard]] std::vector<core::StatRow> rows() const;
+
+  /// core::stat_rows_csv / core::stat_rows_json over rows().
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
 };

@@ -28,9 +28,11 @@ inline constexpr const char* kBreakerShortCircuitCount =
     "query.breaker_short_circuit";
 inline constexpr const char* kBreakerTripCount = "query.breaker_trips";
 
-// container cache (the pristine fast path's two stages)
-inline constexpr const char* kCacheLookup = "query.cache_lookup";
+// container cache (miss-path stages; the lock-free HIT path is deliberately
+// span-free — hits are timed by the enclosing query.answer/answer_view
+// span, which is what keeps enabled-tracing overhead < 5%)
 inline constexpr const char* kConstruct = "query.construct";
+inline constexpr const char* kCachePublish = "query.cache_publish";
 
 // fault-aware routing (AdaptiveRouter)
 inline constexpr const char* kContainerScan = "router.container_scan";

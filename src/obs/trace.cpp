@@ -11,10 +11,7 @@ std::vector<TraceEvent> Tracer::drain() {
   std::vector<TraceEvent> events;
   {
     std::lock_guard lock{state.mutex};
-    for (const auto& ring : state.rings) {
-      std::lock_guard ring_lock{ring->mutex};
-      events.insert(events.end(), ring->events.begin(), ring->events.end());
-    }
+    for (const auto& ring : state.rings) ring->snapshot(events);
   }
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& lhs, const TraceEvent& rhs) {
@@ -24,19 +21,23 @@ std::vector<TraceEvent> Tracer::drain() {
 }
 
 void Tracer::clear() {
+  // Rings are immutable from the collector's side (only their owner thread
+  // writes): dropping events means starting a fresh generation, exactly
+  // like enable() but keeping the configured capacity.
   detail::TraceState& state = detail::trace_state();
-  std::lock_guard lock{state.mutex};
-  for (const auto& ring : state.rings) ring->reset(state.capacity);
+  {
+    std::lock_guard lock{state.mutex};
+    state.rings.clear();
+    state.next_tid = 0;
+  }
+  state.generation.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t Tracer::dropped() {
   detail::TraceState& state = detail::trace_state();
   std::uint64_t total = 0;
   std::lock_guard lock{state.mutex};
-  for (const auto& ring : state.rings) {
-    std::lock_guard ring_lock{ring->mutex};
-    total += ring->dropped;
-  }
+  for (const auto& ring : state.rings) total += ring->dropped();
   return total;
 }
 

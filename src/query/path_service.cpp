@@ -230,9 +230,12 @@ RouteResult PathService::answer_impl(const PairQuery& query, bool degraded) {
     result.paths = {core::Path{query.s}};
     return result;
   }
-  auto container =
-      cache_.paths(query.s, query.t, query.options, &result.cache_hit);
-  result.paths = std::move(container.paths);
+  // lookup() hands back a borrowed view of the published entry; only the
+  // answer that leaves the service materializes owning paths.
+  result.paths =
+      cache_.lookup(query.s, query.t, query.options, &result.cache_hit)
+          .materialize()
+          .paths;
   return result;
 }
 
@@ -286,6 +289,10 @@ ServiceStats PathService::stats() const {
   stats.in_flight = gate_.in_flight();
   stats.cache = cache_.stats();
   stats.latency = latency_.snapshot();
+  // Same read instant for the registry, so one ServiceStats carries every
+  // telemetry surface (satellites read stats.metrics instead of touching
+  // the global registry themselves).
+  stats.metrics = obs::MetricRegistry::global().snapshot();
   return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "query/stats.hpp"
 
+#include <iterator>
 #include <ostream>
 
 #include "core/io.hpp"
@@ -17,82 +18,47 @@ double pct(const LatencyHistogram::Snapshot& latency, double p) {
 
 }  // namespace
 
+std::vector<core::StatRow> ServiceStats::rows() const {
+  std::vector<core::StatRow> rows;
+  const auto scalar = [&rows](const char* name, std::uint64_t value) {
+    rows.push_back(core::stat_scalar("service", name, value));
+  };
+  scalar("queries", queries);
+  scalar("pristine", pristine);
+  scalar("fault_aware", fault_aware);
+  scalar("guaranteed", guaranteed);
+  scalar("best_effort", best_effort);
+  scalar("disconnected", disconnected);
+  scalar("shed", shed);
+  scalar("timed_out", timed_out);
+  scalar("invalid", invalid);
+  scalar("degraded_admissions", degraded_admissions);
+  scalar("breaker_short_circuits", breaker_short_circuits);
+  scalar("breaker_trips", breaker_trips);
+  rows.push_back(core::stat_scalar("service", "ewma_latency_us",
+                                   ewma_latency_us));
+  scalar("in_flight", in_flight);
+
+  rows.push_back(core::stat_dist("latency", "answer_us", latency.count,
+                                 pct(latency, 0.50), pct(latency, 0.90),
+                                 pct(latency, 0.99), latency.max_micros));
+
+  std::vector<core::StatRow> cache_rows = cache.rows();
+  rows.insert(rows.end(), std::make_move_iterator(cache_rows.begin()),
+              std::make_move_iterator(cache_rows.end()));
+
+  std::vector<core::StatRow> metric_rows = metrics.rows();
+  rows.insert(rows.end(), std::make_move_iterator(metric_rows.begin()),
+              std::make_move_iterator(metric_rows.end()));
+  return rows;
+}
+
 std::string ServiceStats::to_csv() const {
-  std::string out =
-      core::csv_row({"scope", "entries", "hits", "misses", "evictions",
-                     "queries", "guaranteed", "best_effort", "disconnected",
-                     "shed", "timed_out", "invalid", "breaker_trips",
-                     "hit_rate", "p50_us", "p90_us", "p99_us", "max_us"}) +
-      "\n";
-  for (std::size_t i = 0; i < cache.shards.size(); ++i) {
-    const core::CacheShardStats& shard = cache.shards[i];
-    out += core::csv_row({"shard" + std::to_string(i),
-                          std::to_string(shard.entries),
-                          std::to_string(shard.hits),
-                          std::to_string(shard.misses),
-                          std::to_string(shard.evictions), "", "", "", "", "",
-                          "", "", "", "", "", "", "", ""}) +
-           "\n";
-  }
-  out += core::csv_row(
-             {"total", std::to_string(cache.entries),
-              std::to_string(cache.hits), std::to_string(cache.misses),
-              std::to_string(cache.evictions), std::to_string(queries),
-              std::to_string(guaranteed), std::to_string(best_effort),
-              std::to_string(disconnected), std::to_string(shed),
-              std::to_string(timed_out), std::to_string(invalid),
-              std::to_string(breaker_trips), std::to_string(hit_rate()),
-              std::to_string(pct(latency, 0.50)),
-              std::to_string(pct(latency, 0.90)),
-              std::to_string(pct(latency, 0.99)),
-              std::to_string(latency.max_micros)}) +
-         "\n";
-  return out;
+  return core::stat_rows_csv(rows());
 }
 
 std::string ServiceStats::to_json() const {
-  core::JsonWriter json;
-  json.begin_object()
-      .key("queries").value(queries)
-      .key("pristine").value(pristine)
-      .key("fault_aware").value(fault_aware)
-      .key("guaranteed").value(guaranteed)
-      .key("best_effort").value(best_effort)
-      .key("disconnected").value(disconnected)
-      .key("shed").value(shed)
-      .key("timed_out").value(timed_out)
-      .key("invalid").value(invalid)
-      .key("degraded_admissions").value(degraded_admissions)
-      .key("breaker_short_circuits").value(breaker_short_circuits)
-      .key("breaker_trips").value(breaker_trips)
-      .key("ewma_latency_us").value(ewma_latency_us)
-      .key("in_flight").value(in_flight)
-      .key("cache").begin_object()
-      .key("entries").value(static_cast<std::uint64_t>(cache.entries))
-      .key("hits").value(static_cast<std::uint64_t>(cache.hits))
-      .key("misses").value(static_cast<std::uint64_t>(cache.misses))
-      .key("evictions").value(static_cast<std::uint64_t>(cache.evictions))
-      .key("hit_rate").value(hit_rate())
-      .key("shards").begin_array();
-  for (const core::CacheShardStats& shard : cache.shards) {
-    json.begin_object()
-        .key("entries").value(static_cast<std::uint64_t>(shard.entries))
-        .key("hits").value(static_cast<std::uint64_t>(shard.hits))
-        .key("misses").value(static_cast<std::uint64_t>(shard.misses))
-        .key("evictions").value(static_cast<std::uint64_t>(shard.evictions))
-        .end_object();
-  }
-  json.end_array().end_object()
-      .key("latency_us").begin_object()
-      .key("count").value(latency.count)
-      .key("p50").value(pct(latency, 0.50))
-      .key("p90").value(pct(latency, 0.90))
-      .key("p99").value(pct(latency, 0.99))
-      .key("max").value(latency.max_micros)
-      .key("buckets").begin_array();
-  for (const std::uint64_t count : latency.buckets) json.value(count);
-  json.end_array().end_object().end_object();
-  return json.str();
+  return core::stat_rows_json(rows());
 }
 
 void ServiceStats::print(std::ostream& os) const {

@@ -89,12 +89,21 @@ struct ServiceStats {
 
   LatencyHistogram::Snapshot latency;
 
+  /// The process-wide obs::MetricRegistry, captured at the same stats()
+  /// read so one snapshot carries every telemetry surface.
+  obs::MetricsSnapshot metrics;
+
   [[nodiscard]] double hit_rate() const noexcept { return cache.hit_rate(); }
 
-  /// One row per cache shard plus a "total" row carrying the query-level
-  /// counters and latency percentiles.
+  /// Everything as unified core::StatRow rows: the query-level counters
+  /// (section "service"), the answer-latency distribution (section
+  /// "latency"), the cache snapshot (sections "cache"/"cache.shard<i>"),
+  /// then the registry metrics (sections "counter"/"gauge"/"histogram").
+  [[nodiscard]] std::vector<core::StatRow> rows() const;
+
+  /// core::stat_rows_csv / core::stat_rows_json over rows() — the same
+  /// schema ContainerCache stats and the obs registry export render with.
   [[nodiscard]] std::string to_csv() const;
-  /// Full nested snapshot, including the raw latency buckets.
   [[nodiscard]] std::string to_json() const;
   /// Aligned human-readable summary (util::Table).
   void print(std::ostream& os) const;

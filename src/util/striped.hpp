@@ -1,0 +1,91 @@
+// Per-thread striped counters: the write side of "move the shared atomics
+// off the hot path".
+//
+// A StripedCounter gives every thread its own cache-line-aligned cell, so
+// the hot increment is one relaxed fetch_add on memory no other thread
+// writes — no shared-counter cache-line ping-pong, which is what made the
+// ContainerCache hit counters a scalability ceiling once the lookup itself
+// went lock-free. Reads fold every cell at the moment of the read
+// (ContainerCache::stats() is the canonical consumer), so totals are exact
+// for quiescent periods and at-most-one-increment racy under load — the
+// same consistency the old single atomic gave concurrent readers.
+//
+// Lifetime/identity scheme: every counter instance draws a process-unique
+// id (never reused), and each thread keeps a flat id -> cell* cache in TLS.
+// Cells are OWNED by the counter (so counts from exited threads survive in
+// fold()); the TLS cache may hold stale pointers for destroyed counters,
+// but those ids are never looked up again — only the owning counter's own
+// methods consult its slot — so the stale entries are inert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hhc::util {
+
+class StripedCounter {
+ public:
+  StripedCounter() : id_{next_id().fetch_add(1, std::memory_order_relaxed)} {}
+
+  StripedCounter(const StripedCounter&) = delete;
+  StripedCounter& operator=(const StripedCounter&) = delete;
+
+  /// Wait-free on the fast path (one relaxed fetch_add on a thread-private
+  /// cell); first use per (thread, counter) registers a cell under a mutex.
+  void add(std::uint64_t n = 1) noexcept {
+    local_cell().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum of every thread's cell at the time of the call (exact when
+  /// writers are quiescent; otherwise may miss increments racing the fold,
+  /// exactly like a relaxed load of a shared atomic would).
+  [[nodiscard]] std::uint64_t fold() const {
+    std::uint64_t total = 0;
+    std::lock_guard lock{mutex_};
+    for (const auto& cell : cells_) {
+      total += cell->value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every cell. Increments racing the reset may land before or
+  /// after their cell is zeroed; callers quiesce writers when they need
+  /// an exact cut (ContainerCache::clear() holds every writer mutex).
+  void reset() noexcept {
+    std::lock_guard lock{mutex_};
+    for (const auto& cell : cells_) {
+      cell->value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  [[nodiscard]] static std::atomic<std::uint64_t>& next_id() noexcept {
+    static std::atomic<std::uint64_t> id{0};
+    return id;
+  }
+
+  [[nodiscard]] std::atomic<std::uint64_t>& local_cell() {
+    thread_local std::vector<std::atomic<std::uint64_t>*> tls_cells;
+    if (id_ >= tls_cells.size()) tls_cells.resize(id_ + 1, nullptr);
+    std::atomic<std::uint64_t>*& slot = tls_cells[id_];
+    if (slot == nullptr) {
+      std::lock_guard lock{mutex_};
+      cells_.push_back(std::make_unique<Cell>());
+      slot = &cells_.back()->value;
+    }
+    return *slot;
+  }
+
+  const std::uint64_t id_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace hhc::util

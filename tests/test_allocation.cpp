@@ -147,6 +147,10 @@ TEST(AllocationFree, CacheHitLookup) {
   ContainerCache cache{net};
   const auto pairs = sample_pairs(net, 64, 0xA110F);
   for (const auto& [s, t] : pairs) (void)cache.lookup(s, t);  // populate
+  // This thread's first HIT lazily registers its striped hit-counter cell
+  // (one allocation per thread, ever); warm it so the loop below measures
+  // the steady-state hit path.
+  (void)cache.lookup(pairs[0].s, pairs[0].t);
 
   const std::size_t before = allocation_count();
   std::size_t total_paths = 0;
@@ -158,7 +162,7 @@ TEST(AllocationFree, CacheHitLookup) {
 
   EXPECT_EQ(delta, 0u) << "cache hits performed " << delta << " allocations";
   EXPECT_EQ(total_paths, pairs.size() * (net.m() + 1));
-  EXPECT_EQ(cache.hits(), pairs.size());
+  EXPECT_EQ(cache.hits(), pairs.size() + 1);
 }
 
 TEST(AllocationFree, AnswerViewOnHit) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/container_cache.hpp"
+#include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -12,7 +13,7 @@ TEST(ContainerCache, MatchesDirectConstructionExactly) {
   ContainerCache cache{net};
   for (const auto& [s, t] : sample_pairs(net, 300, 77)) {
     const auto direct = node_disjoint_paths(net, s, t);
-    const auto cached = cache.paths(s, t);
+    const auto cached = cache.lookup(s, t).materialize();
     ASSERT_EQ(cached.paths.size(), direct.paths.size());
     for (std::size_t i = 0; i < direct.paths.size(); ++i) {
       EXPECT_EQ(cached.paths[i], direct.paths[i]) << "s=" << s << " t=" << t;
@@ -30,7 +31,7 @@ TEST(ContainerCache, TranslatedPairsHitTheCache) {
   for (std::uint64_t a = 0; a < 40; ++a) {
     const Node s = net.encode(a, ys);
     const Node t = net.encode(a ^ xdiff, yt);
-    const auto set = cache.paths(s, t);
+    const auto set = cache.lookup(s, t).materialize();
     std::string why;
     EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
   }
@@ -42,9 +43,9 @@ TEST(ContainerCache, TranslatedPairsHitTheCache) {
 TEST(ContainerCache, DistinctTriplesMiss) {
   const HhcTopology net{2};
   ContainerCache cache{net};
-  (void)cache.paths(net.encode(0, 0), net.encode(1, 1));
-  (void)cache.paths(net.encode(0, 0), net.encode(2, 1));  // different xdiff
-  (void)cache.paths(net.encode(0, 1), net.encode(1, 0));  // different ys/yt
+  (void)cache.lookup(net.encode(0, 0), net.encode(1, 1));
+  (void)cache.lookup(net.encode(0, 0), net.encode(2, 1));  // different xdiff
+  (void)cache.lookup(net.encode(0, 1), net.encode(1, 0));  // different ys/yt
   EXPECT_EQ(cache.misses(), 3u);
   EXPECT_EQ(cache.hits(), 0u);
 }
@@ -54,11 +55,11 @@ TEST(ContainerCache, SameClusterPairsWork) {
   ContainerCache cache{net};
   const Node s = net.encode(7, 0);
   const Node t = net.encode(7, 3);
-  const auto set = cache.paths(s, t);
+  const auto set = cache.lookup(s, t).materialize();
   std::string why;
   EXPECT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
   // A second same-cluster pair with the same positions hits.
-  (void)cache.paths(net.encode(9, 0), net.encode(9, 3));
+  (void)cache.lookup(net.encode(9, 0), net.encode(9, 3));
   EXPECT_EQ(cache.hits(), 1u);
 }
 
@@ -67,8 +68,8 @@ TEST(ContainerCache, ClearResetsStorageAndCounters) {
   // so post-clear hit rates are meaningful (the documented choice).
   const HhcTopology net{2};
   ContainerCache cache{net};
-  (void)cache.paths(0, 63);
-  (void)cache.paths(0, 63);
+  (void)cache.lookup(0, 63);
+  (void)cache.lookup(0, 63);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
   cache.clear();
@@ -94,8 +95,9 @@ TEST(ContainerCache, OptionsArePartOfTheKey) {
   ContainerCache cache{net};
   const ConstructionOptions balanced{.selection = RouteSelectionPolicy::kBalanced};
   for (const auto& [s, t] : sample_pairs(net, 120, 5)) {
-    EXPECT_EQ(cache.paths(s, t).paths, node_disjoint_paths(net, s, t).paths);
-    EXPECT_EQ(cache.paths(s, t, balanced).paths,
+    EXPECT_EQ(cache.lookup(s, t).materialize().paths,
+              node_disjoint_paths(net, s, t).paths);
+    EXPECT_EQ(cache.lookup(s, t, balanced).materialize().paths,
               node_disjoint_paths(net, s, t, balanced).paths);
   }
   EXPECT_EQ(cache.hits() + cache.misses(), 240u);
@@ -105,9 +107,9 @@ TEST(ContainerCache, ReportsPerCallHitState) {
   const HhcTopology net{2};
   ContainerCache cache{net};
   bool hit = true;
-  (void)cache.paths(0, 63, {}, &hit);
+  (void)cache.lookup(0, 63, {}, &hit);
   EXPECT_FALSE(hit);
-  (void)cache.paths(0, 63, {}, &hit);
+  (void)cache.lookup(0, 63, {}, &hit);
   EXPECT_TRUE(hit);
 }
 
@@ -115,7 +117,7 @@ TEST(ContainerCache, EvictionKeepsShardsBounded) {
   const HhcTopology net{3};
   ContainerCache cache{net, {.shards = 2, .max_entries_per_shard = 4}};
   for (const auto& [s, t] : sample_pairs(net, 400, 11)) {
-    const auto set = cache.paths(s, t);
+    const auto set = cache.lookup(s, t).materialize();
     std::string why;
     ASSERT_TRUE(verify_disjoint_path_set(net, set, s, t, &why)) << why;
   }
@@ -133,7 +135,7 @@ TEST(ContainerCache, EvictionCountsAreExact) {
   const HhcTopology net{3};
   ContainerCache cache{net, {.shards = 2, .max_entries_per_shard = 4}};
   for (const auto& [s, t] : sample_pairs(net, 300, 17)) {
-    (void)cache.paths(s, t);
+    (void)cache.lookup(s, t);
   }
   EXPECT_EQ(cache.misses(), cache.size() + cache.evictions());
   const auto stats = cache.stats();
@@ -175,27 +177,33 @@ TEST(ContainerCache, StatsSnapshotAddsUp) {
   const HhcTopology net{2};
   ContainerCache cache{net, {.shards = 5}};  // rounds up to 8
   EXPECT_EQ(cache.shard_count(), 8u);
-  for (const auto& [s, t] : sample_pairs(net, 60, 13)) (void)cache.paths(s, t);
+  for (const auto& [s, t] : sample_pairs(net, 60, 13)) (void)cache.lookup(s, t);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, 60u);
   EXPECT_EQ(stats.hits, cache.hits());
   EXPECT_EQ(stats.misses, cache.misses());
   std::size_t entries = 0;
-  std::size_t hits = 0;
-  for (const auto& shard : stats.shards) {
-    entries += shard.entries;
-    hits += shard.hits;
-  }
+  for (const auto& shard : stats.shards) entries += shard.entries;
   EXPECT_EQ(entries, stats.entries);
-  EXPECT_EQ(hits, stats.hits);
   EXPECT_GT(stats.hit_rate(), 0.0);
+
+  // The unified rows render carries the same numbers (aggregate section
+  // first, then one section per shard).
+  const auto rows = stats.rows();
+  ASSERT_EQ(rows.size(), 5 + 2 * stats.shards.size());
+  EXPECT_EQ(rows[0].section, "cache");
+  EXPECT_EQ(rows[0].name, "entries");
+  EXPECT_EQ(static_cast<std::size_t>(rows[0].value), stats.entries);
+  EXPECT_EQ(rows[1].name, "hits");
+  EXPECT_EQ(static_cast<std::size_t>(rows[1].value), stats.hits);
+  EXPECT_EQ(rows[5].section, "cache.shard0");
 }
 
 TEST(ContainerCache, RejectsBadInput) {
   const HhcTopology net{2};
   ContainerCache cache{net};
-  EXPECT_THROW((void)cache.paths(3, 3), std::invalid_argument);
-  EXPECT_THROW((void)cache.paths(0, net.node_count()), std::invalid_argument);
+  EXPECT_THROW((void)cache.lookup(3, 3), std::invalid_argument);
+  EXPECT_THROW((void)cache.lookup(0, net.node_count()), std::invalid_argument);
 }
 
 TEST(ContainerCache, LookupMaterializesToPathsResult) {
@@ -254,6 +262,33 @@ TEST(ContainerCache, TranslatedPairsShareOneFlatContainer) {
   EXPECT_EQ(other.source(), s2);
   EXPECT_EQ(other.target(), t2);
   EXPECT_EQ(other.materialize().paths, node_disjoint_paths(net, s2, t2).paths);
+}
+
+TEST(ContainerCache, PublicationKnobsClampAndStayCorrect) {
+  // The publication knobs shape index growth, never results: a pre-sized
+  // index (initial_index_capacity) and out-of-range load ceilings (clamped
+  // into (10, 90]) must serve the same answers and the same entry counts
+  // as the defaults across repeated grow-republish cycles.
+  const HhcTopology net{3};
+  const auto pairs = sample_pairs(net, 48, 0xC0FFEE);
+
+  ContainerCache::Config configs[] = {
+      {.shards = 1, .initial_index_capacity = 1024},  // no early grows
+      {.shards = 1, .initial_index_capacity = 1, .max_load_percent = 200},
+      {.shards = 1, .max_load_percent = 1},  // clamps to 10: grow-heavy
+  };
+  ContainerCache reference{net};
+  for (auto& config : configs) {
+    ContainerCache cache{net, config};
+    for (const auto& [s, t] : pairs) {
+      EXPECT_EQ(cache.lookup(s, t).materialize().paths,
+                reference.lookup(s, t).materialize().paths);
+    }
+    EXPECT_EQ(cache.size(), reference.size());
+    bool hit = false;
+    (void)cache.lookup(pairs[0].s, pairs[0].t, cache.options(), &hit);
+    EXPECT_TRUE(hit);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/disjoint.hpp"
+#include "core/io.hpp"
 #include "core/metrics.hpp"
 #include "core/routing.hpp"
 #include "fault/adaptive_router.hpp"
@@ -267,8 +268,12 @@ TEST(PathService, EmptyStatsRenderWithoutThrowing) {
   const PathService service{net};
   const auto stats = service.stats();
   EXPECT_EQ(stats.latency.count, 0u);
-  EXPECT_NE(stats.to_csv().find("total"), std::string::npos);
-  EXPECT_NE(stats.to_json().find("\"queries\":0"), std::string::npos);
+  EXPECT_NE(stats.to_csv().find("service,queries,0"), std::string::npos);
+  // The empty latency distribution renders count/max but no percentiles.
+  EXPECT_NE(stats.to_csv().find("latency,answer_us,,0,,,"),
+            std::string::npos);
+  EXPECT_NE(stats.to_json().find("\"name\":\"queries\",\"value\":0"),
+            std::string::npos);
 }
 
 TEST(PathService, StatsResetKeepsCacheContents) {
@@ -291,18 +296,25 @@ TEST(PathService, EmitsWellFormedCsvAndJson) {
   const auto stats = service.stats();
 
   const auto csv = stats.to_csv();
-  EXPECT_NE(csv.find("scope,entries,hits,misses,evictions"), std::string::npos);
-  EXPECT_NE(csv.find("shard0"), std::string::npos);
-  EXPECT_NE(csv.find("total"), std::string::npos);
-  // Header + one row per shard + the total row.
+  EXPECT_NE(csv.find("section,name,value,count,p50,p90,p99,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("service,queries,25"), std::string::npos);
+  EXPECT_NE(csv.find("cache,hits,"), std::string::npos);
+  EXPECT_NE(csv.find("cache.shard0,entries,"), std::string::npos);
+  EXPECT_NE(csv.find("cache.shard3,evictions,"), std::string::npos);
+  EXPECT_NE(csv.find("latency,answer_us,"), std::string::npos);
+  // The registry metrics ride along in the same table (the per-outcome
+  // answer histogram records once per successful query).
+  EXPECT_NE(csv.find("histogram,query.answer.ok,"), std::string::npos);
+  // Header + one line per row, nothing else.
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(csv.begin(), csv.end(), '\n')),
-            2 + stats.cache.shards.size());
+            1 + stats.rows().size());
 
   const auto json = stats.to_json();  // JsonWriter throws on malformed output
-  EXPECT_NE(json.find("\"queries\":25"), std::string::npos);
-  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
-  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queries\",\"value\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"section\":\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"section\":\"cache.shard0\""), std::string::npos);
 }
 
 TEST(PathService, FaultAwareQueriesShareThePristineCache) {

@@ -130,7 +130,7 @@ TEST(QueryStress, ConcurrentCacheWithEvictionStaysCorrect) {
       util::Xoshiro256 rng{7000 + id};
       for (std::size_t i = 0; i < 150; ++i) {
         const std::size_t k = rng.below(pairs.size());
-        const auto set = cache.paths(pairs[k].s, pairs[k].t);
+        const auto set = cache.lookup(pairs[k].s, pairs[k].t).materialize();
         if (set.paths != expected[k].paths) {
           mismatches.fetch_add(1, std::memory_order_relaxed);
         }
