@@ -220,8 +220,9 @@ int cmd_trace(const util::Options& opts) {
   return 0;
 }
 
-// Replays the chaos/soak harness: open-loop traffic with deadlines and
-// admission control over an evolving fault schedule, reported per epoch.
+// Replays the chaos/soak harness: open-loop (default) or closed-loop
+// traffic with deadlines and admission control over an evolving fault
+// schedule, reported per epoch.
 int cmd_soak(const util::Options& opts) {
   sim::SoakConfig config;
   config.m = static_cast<unsigned>(opts.get_int("m", 2));
@@ -232,6 +233,7 @@ int cmd_soak(const util::Options& opts) {
       static_cast<std::size_t>(opts.get_int("hostile", 4));
   config.workers = static_cast<std::size_t>(opts.get_int("workers", 4));
   config.max_queued = static_cast<std::size_t>(opts.get_int("max-queued", 64));
+  config.closed_loop = opts.get_bool("closed-loop", false);
   config.deadline_us = opts.get_double("deadline-us", 2000.0);
   config.fault_rate = opts.get_double("fault-rate", 0.5);
   config.faults_per_burst =
@@ -288,6 +290,7 @@ void usage() {
       "  soak       chaos/soak run: deadlines + admission over evolving "
       "faults\n"
       "             (--m --epochs --load --hostile --workers --max-queued\n"
+      "              --closed-loop true|false (issue-on-completion streams)\n"
       "              --deadline-us --fault-rate --burst --repair-after --seed\n"
       "              --max-in-flight --breaker --policy reject|queue|degrade\n"
       "              --format table|csv|json)");

@@ -12,15 +12,17 @@ inline constexpr const char* kAnswer = "query.answer";
 inline constexpr const char* kAnswerView = "query.answer_view";
 
 // per-outcome answer latency (overload robustness layer); the .ok histogram
-// is the production latency, the others show what shed/expired work cost
-// before it was abandoned.
+// is the production latency, .timed_out what in-flight expired work cost
+// before it was abandoned. Gate sheds and admission-time expiries are
+// deliberately histogram-free: the shed-fast path performs NO shared-memory
+// writes (per-thread striped tallies only, surfaced via ServiceStats), so
+// rejection stays effectively free under overload.
 inline constexpr const char* kAnswerOk = "query.answer.ok";
 inline constexpr const char* kAnswerTimedOut = "query.answer.timed_out";
-inline constexpr const char* kAnswerShed = "query.answer.shed";
 
-// overload decision counters (obs::MetricRegistry counters, not spans)
-inline constexpr const char* kShedCount = "query.shed";
-inline constexpr const char* kTimedOutCount = "query.timed_out";
+// overload decision counters (obs::MetricRegistry counters, not spans);
+// shed/timed-out totals live in ServiceStats, not the registry, for the
+// same shed-fast reason.
 inline constexpr const char* kInvalidCount = "query.invalid";
 inline constexpr const char* kDegradedAdmissionCount =
     "query.degraded_admission";

@@ -14,9 +14,10 @@
 //   EWMA detector    an exponentially weighted moving average of answer
 //                    latency, folded into the gate: when the smoothed
 //                    latency crosses the configured threshold the service
-//                    is "overloaded" and admissions degrade regardless of
-//                    in-flight occupancy (waiting in a queue cannot fix a
-//                    latency overload — shedding work can).
+//                    is "overloaded" and admissions degrade — or, with
+//                    shed_on_overload, shed — regardless of in-flight
+//                    occupancy (waiting in a queue cannot fix a latency
+//                    overload; shedding work can).
 //   CircuitBreaker   a per-fault-epoch memory of repeatedly-disconnected
 //                    pairs: once a pair reports kDisconnected `threshold`
 //                    consecutive times within one fault epoch, further
@@ -25,6 +26,22 @@
 //                    changes), sparing the survivor-subgraph BFS the
 //                    hopeless full-graph sweeps that make hostile fault
 //                    sets so expensive.
+//
+// Shed-fast contract (PR 8): a rejected decision performs NO shared-memory
+// writes. The in-flight bound is checked with a read + CAS claim that only
+// writes on successful admission; completion feedback lands in per-thread
+// util::StripedCounter cells and is folded into the EWMA on decision
+// epochs, not per sample; and a disabled mechanism costs at most a relaxed
+// load. This is what makes rejection effectively free and lets goodput
+// plateau under overload instead of collapsing (the F6b closed-loop sweep
+// in BENCH_query.json is the acceptance curve).
+//
+// Recovery contract: the EWMA only learns from completed answers, so a
+// gate shedding 100% of traffic would otherwise never observe that load
+// dropped. Under shed_on_overload every probe_interval-th shed decision
+// per thread is admitted (degraded) as a half-open probe; probe
+// completions feed the detector and close the loop, so a recovered
+// backend reopens the gate within a handful of probes.
 //
 // All three are policy ONLY — they never alter the bits of an answer that
 // is delivered with RouteOutcome::kOk. With the default config (no limit,
@@ -41,6 +58,7 @@
 
 #include "core/topology.hpp"
 #include "util/deadline.hpp"
+#include "util/striped.hpp"
 
 namespace hhc::query {
 
@@ -61,23 +79,37 @@ enum class AdmissionPolicy {
 }
 
 struct AdmissionConfig {
-  /// Concurrent in-flight answer() bound; 0 = unlimited (gate inert).
+  /// Concurrent in-flight answer() bound; 0 = unlimited. An unlimited gate
+  /// does no occupancy accounting at all (admit/release are read-only), so
+  /// the default config adds zero shared writes to the query hot path.
   std::size_t max_in_flight = 0;
   AdmissionPolicy policy = AdmissionPolicy::kReject;
   /// EWMA smoothing factor in (0, 1]; the weight of the newest sample.
   double ewma_alpha = 0.2;
-  /// Smoothed-latency overload threshold in µs; 0 = detector disabled.
+  /// Smoothed-latency overload threshold in µs; 0 = detector disabled
+  /// (completion feedback then never touches shared state either).
   double overload_latency_us = 0.0;
   /// Consecutive kDisconnected answers for one pair (within one fault
   /// epoch) that open its breaker; 0 = breaker disabled.
   std::size_t breaker_threshold = 0;
+  /// When the EWMA detector flags overload, SHED instead of degrading
+  /// admissions. This is the shed-fast posture: an overloaded service
+  /// refuses work in nanoseconds rather than admitting ever-slower
+  /// best-effort answers. false keeps the PR 5 degrade semantics.
+  bool shed_on_overload = false;
+  /// Under shed_on_overload, every Nth consecutive shed decision per
+  /// thread is admitted (degraded) as a half-open probe so the detector
+  /// keeps seeing completions and can observe recovery. 0 disables probing
+  /// (a fully-shedding gate then stays shut until something else
+  /// completes — only sensible in tests).
+  std::size_t probe_interval = 64;
 };
 
 /// Gate verdicts, in decreasing order of service delivered.
 enum class AdmissionVerdict {
   kAdmitted,          // run the full query
   kAdmittedDegraded,  // run, but skip the fault-aware fallback
-  kShed,              // rejected: bound hit under the kReject policy
+  kShed,              // rejected: bound hit / overload under shed_on_overload
   kTimedOut,          // queued past the query's deadline / cancellation
 };
 
@@ -86,36 +118,44 @@ enum class AdmissionVerdict {
 /// exactly one release() (PathService uses an RAII guard).
 class AdmissionGate {
  public:
-  explicit AdmissionGate(AdmissionConfig config) : config_{config} {}
+  explicit AdmissionGate(AdmissionConfig config)
+      : config_{config}, id_{next_id().fetch_add(1,
+                                                 std::memory_order_relaxed)} {}
 
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
 
-  /// Decides one query's fate. Blocks only under the kQueue policy, and
-  /// then only until a slot frees, the deadline expires, or the token is
-  /// cancelled. An unarmed deadline under kQueue waits indefinitely for a
-  /// slot (there is nothing to time out against).
+  /// Decides one query's fate. A kShed verdict writes no shared memory.
+  /// Blocks only under the kQueue policy, and then only until a slot
+  /// frees, the deadline expires, or the token is cancelled. An unarmed
+  /// deadline under kQueue waits indefinitely for a slot (there is nothing
+  /// to time out against).
   [[nodiscard]] AdmissionVerdict admit(const util::Deadline& deadline,
                                        const util::CancellationToken* cancel);
 
-  /// Returns the slot taken by a successful admit().
+  /// Returns the slot taken by a successful admit(). No-op on an unlimited
+  /// gate (no slot was ever claimed).
   void release() noexcept;
 
-  /// Feeds one completed answer's latency into the EWMA detector.
+  /// Feeds one completed answer's latency into the detector: per-thread
+  /// striped cells, folded into the EWMA on decision epochs (every
+  /// kDecisionEpoch completions, and eagerly while the gate is overloaded
+  /// so probe completions reopen it promptly). With the detector disabled
+  /// this touches thread-private cells only.
   void record_latency(double micros) noexcept;
 
-  /// Smoothed latency estimate (µs); 0 until the first sample.
-  [[nodiscard]] double ewma_latency_us() const noexcept {
-    return ewma_us_.load(std::memory_order_relaxed);
-  }
+  /// Smoothed latency estimate (µs); 0 until the first sample. Folds any
+  /// pending completion samples first, so reads are exact when writers are
+  /// quiescent (tests and stats() rely on that).
+  [[nodiscard]] double ewma_latency_us() const noexcept;
 
   /// True when the detector is armed and the smoothed latency exceeds the
-  /// configured threshold.
-  [[nodiscard]] bool overloaded() const noexcept {
-    return config_.overload_latency_us > 0.0 &&
-           ewma_latency_us() > config_.overload_latency_us;
-  }
+  /// configured threshold. Folds pending samples like ewma_latency_us();
+  /// the hot admit() path reads the cached epoch-folded state instead.
+  [[nodiscard]] bool overloaded() const noexcept;
 
+  /// Instantaneous occupancy; always 0 for an unlimited gate (which does
+  /// no accounting — see AdmissionConfig::max_in_flight).
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return in_flight_.load(std::memory_order_relaxed);
   }
@@ -123,18 +163,49 @@ class AdmissionGate {
     return config_;
   }
 
+  /// Completions folded per EWMA update when the detector is armed.
+  static constexpr std::uint64_t kDecisionEpoch = 32;
+
  private:
+  /// Folds completion samples recorded since the last fold into the EWMA
+  /// and refreshes the cached overload flag. Blocking variant used by the
+  /// exact read-side accessors; the completion path uses try-lock.
+  void fold_completions() const noexcept;
+  [[nodiscard]] bool try_fold_completions() const noexcept;
+  void apply_fold_locked() const noexcept;
+  [[nodiscard]] std::size_t& shed_streak() const;
+
+  [[nodiscard]] static std::atomic<std::uint64_t>& next_id() noexcept {
+    static std::atomic<std::uint64_t> id{0};
+    return id;
+  }
+
   AdmissionConfig config_;
+  const std::uint64_t id_;  // process-unique; keys the per-thread shed streak
   std::atomic<std::size_t> in_flight_{0};
-  std::atomic<double> ewma_us_{0.0};
-  std::mutex mutex_;                 // serializes kQueue waiters only
+
+  // Completion feedback: per-thread cells on the write side, folded into
+  // ewma_us_/overload_cached_ under fold_mutex_ on decision epochs.
+  util::StripedCounter completion_count_;
+  util::StripedCounter completion_sum_ns_;
+  std::atomic<std::uint64_t> completions_{0};  // epoch trigger (armed only)
+  mutable std::mutex fold_mutex_;
+  mutable std::uint64_t folded_count_ = 0;  // under fold_mutex_
+  mutable std::uint64_t folded_sum_ns_ = 0;
+  mutable std::atomic<double> ewma_us_{0.0};
+  mutable std::atomic<bool> overload_cached_{false};
+
+  std::mutex queue_mutex_;  // serializes kQueue waiters only
   std::condition_variable slot_free_;
 };
 
-/// Per-fault-epoch short-circuit for repeatedly-disconnected pairs.
-/// Epochs are advanced by the owner whenever the fault landscape changes
-/// (PathService::advance_fault_epoch()); entries from older epochs reset
-/// lazily, so a repair automatically gives every pair a fresh chance.
+/// Per-fault-epoch short-circuit for repeatedly-disconnected pairs. The
+/// breaker owns the epoch counter: advance_fault_epoch() is WAIT-FREE (one
+/// relaxed increment) and entries from older epochs reset lazily on their
+/// next touch, so a repair gives every pair a fresh chance without any
+/// sweep. should_short_circuit() is read-only until the first breaker
+/// entry exists (one relaxed load), so pristine-heavy traffic never pays
+/// for the map mutex.
 class CircuitBreaker {
  public:
   /// threshold = consecutive disconnects that open a pair's breaker;
@@ -144,15 +215,23 @@ class CircuitBreaker {
   CircuitBreaker(const CircuitBreaker&) = delete;
   CircuitBreaker& operator=(const CircuitBreaker&) = delete;
 
-  /// True when (s, t) should be short-circuited at `epoch` — its breaker
-  /// opened in this same epoch and has not been reset by an epoch advance.
-  [[nodiscard]] bool should_short_circuit(core::Node s, core::Node t,
-                                          std::uint64_t epoch);
+  /// Tells the breaker the fault landscape changed (faults added or
+  /// repaired): every open breaker gets a fresh chance. Wait-free.
+  void advance_fault_epoch() noexcept {
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fault_epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// True when (s, t) should be short-circuited at the current epoch — its
+  /// breaker opened in this same epoch and has not been reset by an epoch
+  /// advance.
+  [[nodiscard]] bool should_short_circuit(core::Node s, core::Node t);
 
   /// Records one authoritative answer for (s, t): a disconnect extends the
   /// streak (opening the breaker at the threshold), anything else resets it.
-  void record(core::Node s, core::Node t, std::uint64_t epoch,
-              bool disconnected);
+  void record(core::Node s, core::Node t, bool disconnected);
 
   /// Breakers opened since construction (monotone; telemetry only).
   [[nodiscard]] std::uint64_t trips() const noexcept {
@@ -181,7 +260,9 @@ class CircuitBreaker {
   };
 
   std::size_t threshold_;
+  std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> trips_{0};
+  std::atomic<bool> has_entries_{false};
   std::mutex mutex_;
   std::unordered_map<PairKey, Entry, PairKeyHash> entries_;
 };

@@ -40,6 +40,7 @@
 #include "query/stats.hpp"
 #include "query/types.hpp"
 #include "util/deadline.hpp"
+#include "util/striped.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hhc::query {
@@ -88,7 +89,11 @@ class PathService {
   /// admission may shed the query (outcome kShed) or time it out while
   /// queued (kTimedOut); an expired deadline is noticed at stage
   /// boundaries, so completion never overruns the deadline by more than
-  /// one stage-check interval.
+  /// one stage-check interval. Shed-fast contract: a query that arrives
+  /// already expired answers kTimedOut — exactly once, before the gate
+  /// ever sees it — and a gate-shed query returns a copy of a preallocated
+  /// result after bumping per-thread striped tallies only: no heap state,
+  /// no cache traffic, no histogram or registry update, no clock read.
   [[nodiscard]] RouteResult answer(const PairQuery& query);
 
   /// Answers a batch, fanned out over the service's thread pool. results[i]
@@ -118,12 +123,11 @@ class PathService {
   /// repaired): every open breaker gets a fresh chance. Call this whenever
   /// the FaultModel you pass in queries is mutated or swapped, or when a
   /// scheduled repair window opens — the soak harness advances it once per
-  /// fault epoch.
-  void advance_fault_epoch() noexcept {
-    fault_epoch_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// fault epoch. Wait-free (one relaxed increment on the breaker's epoch);
+  /// safe to call concurrently with answers from any thread.
+  void advance_fault_epoch() noexcept { breaker_.advance_fault_epoch(); }
   [[nodiscard]] std::uint64_t fault_epoch() const noexcept {
-    return fault_epoch_.load(std::memory_order_relaxed);
+    return breaker_.fault_epoch();
   }
 
   /// The admission gate (read-only access for telemetry/tests).
@@ -141,10 +145,15 @@ class PathService {
 
  private:
   [[nodiscard]] RouteResult answer_impl(const PairQuery& query, bool degraded);
-  /// Shared exit path: stamps micros, feeds the histograms/EWMA, bumps the
-  /// outcome and level counters.
+  /// Shared exit path for ADMITTED queries: stamps micros, feeds the
+  /// histograms/EWMA, bumps the outcome and level counters. Shed/expired
+  /// queries never reach it — they take the striped fast paths below.
   RouteResult finalize(const PairQuery& query, RouteResult result,
                        double micros);
+  /// The striped fast-path tallies: one thread-private cell bump per
+  /// counter, no shared cache-line writes (see util/striped.hpp).
+  void count_shed_fast(const PairQuery& query) noexcept;
+  void count_timed_out_fast(const PairQuery& query) noexcept;
 
   const core::HhcTopology& net_;
   PathServiceConfig config_;
@@ -153,15 +162,18 @@ class PathService {
   std::optional<util::ThreadPool> pool_;
   AdmissionGate gate_;
   CircuitBreaker breaker_;
-  std::atomic<std::uint64_t> fault_epoch_{0};
 
-  std::atomic<std::uint64_t> pristine_{0};
-  std::atomic<std::uint64_t> fault_aware_{0};
+  // pristine/fault-aware/shed/timed-out sit on the shed-fast and
+  // expiry-fast paths, so they are per-thread striped cells folded by
+  // stats(); the level counters only move on completed (admitted) answers
+  // and stay plain atomics.
+  util::StripedCounter pristine_;
+  util::StripedCounter fault_aware_;
+  util::StripedCounter shed_;
+  util::StripedCounter timed_out_;
   std::atomic<std::uint64_t> guaranteed_{0};
   std::atomic<std::uint64_t> best_effort_{0};
   std::atomic<std::uint64_t> disconnected_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> invalid_{0};
   std::atomic<std::uint64_t> degraded_admissions_{0};
   std::atomic<std::uint64_t> breaker_short_circuits_{0};

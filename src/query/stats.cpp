@@ -35,6 +35,7 @@ std::vector<core::StatRow> ServiceStats::rows() const {
   scalar("degraded_admissions", degraded_admissions);
   scalar("breaker_short_circuits", breaker_short_circuits);
   scalar("breaker_trips", breaker_trips);
+  scalar("fault_epoch", fault_epoch);
   rows.push_back(core::stat_scalar("service", "ewma_latency_us",
                                    ewma_latency_us));
   scalar("in_flight", in_flight);

@@ -13,6 +13,12 @@
 // explicitly), and p = 0 reports the first non-empty bucket's edge instead
 // of a phantom 1 µs.
 //
+// Latency semantics (PR 8): the histogram measures POST-ADMISSION service
+// time. Gate-shed queries and admission-time deadline expiries never touch
+// it — the shed-fast path records nothing but per-thread striped outcome
+// tallies — so under overload the distribution describes the work actually
+// performed, not a blur of sub-microsecond rejections.
+//
 // ServiceStats is the plain-data snapshot PathService::stats() returns:
 // query/level totals, the cache's per-shard counters, and the latency
 // distribution, renderable as an aligned table, CSV, or JSON (via core::io)
@@ -74,14 +80,18 @@ struct ServiceStats {
   std::uint64_t best_effort = 0;
   std::uint64_t disconnected = 0;
 
-  // Overload robustness (see DESIGN.md §8). shed includes both gate
+  // Overload robustness (see DESIGN.md §8/§10). shed includes both gate
   // rejections and breaker short-circuits; the latter also counted apart.
+  // shed/timed_out are folded from per-thread striped cells — the ONLY
+  // tallies the shed-fast rejection path touches — so they are exact when
+  // writers are quiescent and at-most-one-increment racy under load.
   std::uint64_t shed = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t invalid = 0;               // malformed batch elements
   std::uint64_t degraded_admissions = 0;   // admitted with fallback skipped
   std::uint64_t breaker_short_circuits = 0;
   std::uint64_t breaker_trips = 0;         // breakers opened (monotone)
+  std::uint64_t fault_epoch = 0;           // the breaker's current epoch
   double ewma_latency_us = 0.0;            // the overload detector's view
   std::uint64_t in_flight = 0;             // instantaneous occupancy
 

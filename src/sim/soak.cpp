@@ -98,26 +98,62 @@ SoakReport run_soak(const SoakConfig& config) {
     row.faults_active = model.fault_count(e);
     row.offered = per_epoch;
 
-    // Open-loop arrivals: the generator submits the whole epoch's traffic
-    // without waiting; the bounded queue sheds the excess at the door.
-    for (std::size_t i = 0; i < config.queries_per_epoch; ++i) {
-      query::PairQuery query;
-      query.s = rng.below(net.node_count());
-      query.t = rng.below(net.node_count());
-      query.faults = &model;
-      query.time = e;
-      if (config.deadline_us > 0.0) {
-        query.deadline = util::Deadline::after_micros(config.deadline_us);
+    if (config.closed_loop) {
+      // Closed-loop arrivals: pre-generate the epoch's pairs (consuming
+      // the RNG exactly like the open-loop generator — two draws per
+      // query), then let `workers` fixed streams race an index counter,
+      // each issuing its next query only when the previous one completed.
+      // Deadlines are armed at issue time: a closed-loop query's budget
+      // starts when it is issued, not when the epoch was generated.
+      std::vector<std::pair<core::Node, core::Node>> pairs(
+          config.queries_per_epoch);
+      for (auto& [s, t] : pairs) {
+        s = rng.below(net.node_count());
+        t = rng.below(net.node_count());
       }
-      Slot& slot = slots[base + i];
-      const bool queued = pool.try_submit(
-          [&service, &slot, query] {
-            record(slot, service.answer(query), query.deadline);
-          },
-          config.max_queued);
-      if (!queued) {
-        slot.state.store(SlotState::kDoorShed, std::memory_order_relaxed);
-        ++row.door_shed;
+      std::atomic<std::size_t> next{0};
+      const std::size_t streams = std::max<std::size_t>(1, config.workers);
+      for (std::size_t w = 0; w < streams; ++w) {
+        pool.submit([&service, &model, &pairs, &next, &slots, &config, base,
+                     e] {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= pairs.size()) return;
+            query::PairQuery query;
+            query.s = pairs[i].first;
+            query.t = pairs[i].second;
+            query.faults = &model;
+            query.time = e;
+            if (config.deadline_us > 0.0) {
+              query.deadline = util::Deadline::after_micros(config.deadline_us);
+            }
+            record(slots[base + i], service.answer(query), query.deadline);
+          }
+        });
+      }
+      pool.wait_idle();  // pairs/next are epoch-scoped; drain before they die
+    } else {
+      // Open-loop arrivals: the generator submits the whole epoch's traffic
+      // without waiting; the bounded queue sheds the excess at the door.
+      for (std::size_t i = 0; i < config.queries_per_epoch; ++i) {
+        query::PairQuery query;
+        query.s = rng.below(net.node_count());
+        query.t = rng.below(net.node_count());
+        query.faults = &model;
+        query.time = e;
+        if (config.deadline_us > 0.0) {
+          query.deadline = util::Deadline::after_micros(config.deadline_us);
+        }
+        Slot& slot = slots[base + i];
+        const bool queued = pool.try_submit(
+            [&service, &slot, query] {
+              record(slot, service.answer(query), query.deadline);
+            },
+            config.max_queued);
+        if (!queued) {
+          slot.state.store(SlotState::kDoorShed, std::memory_order_relaxed);
+          ++row.door_shed;
+        }
       }
     }
 
@@ -262,6 +298,7 @@ std::string SoakReport::to_json() const {
   json.key("hostile_per_epoch").value(std::uint64_t{config.hostile_per_epoch});
   json.key("workers").value(std::uint64_t{config.workers});
   json.key("max_queued").value(std::uint64_t{config.max_queued});
+  json.key("closed_loop").value(config.closed_loop);
   json.key("deadline_us").value(config.deadline_us);
   json.key("fault_rate").value(config.fault_rate);
   json.key("faults_per_burst").value(std::uint64_t{config.faults_per_burst});
@@ -289,6 +326,7 @@ std::string SoakReport::to_json() const {
   json.key("breaker_short_circuits").value(breaker_short_circuits);
   json.key("faulted_ok_rate").value(faulted_ok_rate);
   json.key("healed_ok_rate").value(healed_ok_rate);
+  json.key("goodput_qps").value(goodput_qps());
   json.key("wall_seconds").value(wall_seconds);
   json.end_object();
   return json.str();
@@ -321,6 +359,8 @@ void SoakReport::print(std::ostream& os) const {
      << " short-circuits\n"
      << "ok-rate faulted " << faulted_ok_rate << " vs healed "
      << healed_ok_rate << " (recovery)\n"
+     << "goodput " << goodput_qps() << " qps ("
+     << (config.closed_loop ? "closed" : "open") << "-loop)\n"
      << "wall " << wall_seconds << " s\n";
 }
 

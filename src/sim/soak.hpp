@@ -1,15 +1,25 @@
 // Chaos/soak harness for the path-query engine (the overload contract's
 // end-to-end test bed).
 //
-// The harness replays open-loop traffic against one PathService while the
-// fault landscape EVOLVES underneath it: seeded outage bursts fail random
-// nodes for a window of epochs and are then repaired, an optional hostile
+// The harness replays traffic against one PathService while the fault
+// landscape EVOLVES underneath it: seeded outage bursts fail random nodes
+// for a window of epochs and are then repaired, and an optional hostile
 // pair is severed during every outage so the circuit breaker has something
-// deterministic to trip on, and arrivals are pushed through a bounded
-// ThreadPool queue (util::ThreadPool::try_submit) so offered load beyond
-// the consumers' capacity is shed at the door instead of queueing without
-// limit — the open-loop part: the generator never waits for completions
-// within an epoch.
+// deterministic to trip on. Two arrival models:
+//
+//   * open-loop (default): arrivals are pushed through a bounded
+//     ThreadPool queue (util::ThreadPool::try_submit) so offered load
+//     beyond the consumers' capacity is shed at the door instead of
+//     queueing without limit — the generator never waits for completions
+//     within an epoch;
+//   * closed-loop (config.closed_loop): a fixed set of `workers` streams
+//     each issue the next query only when the previous one completes, so
+//     offered load self-regulates to the service's capacity (door_shed
+//     stays 0 by construction) and report.goodput_qps() measures the
+//     sustainable completion rate — the F6b goodput-plateau curve.
+//
+// Both modes consume the seeded RNG identically (two draws per pool
+// query), so the query stream for a given seed is the same stream.
 //
 // What it measures, per fault epoch and in aggregate:
 //   * outcome mix (ok / shed / timed-out / authoritative disconnects) and
@@ -48,6 +58,10 @@ struct SoakConfig {
   std::size_t hostile_per_epoch = 0;
   std::size_t workers = 4;           // consumer threads draining arrivals
   std::size_t max_queued = 64;       // try_submit bound; beyond it = door shed
+  /// Closed-loop arrivals: `workers` concurrent streams, issue-on-
+  /// completion, per-query deadlines armed at issue time (not generation
+  /// time). max_queued is ignored — nothing is ever shed at the door.
+  bool closed_loop = false;
   double deadline_us = 0.0;          // per-query budget; 0 = none
   double fault_rate = 0.5;           // fraction of epochs starting an outage
   std::size_t faults_per_burst = 2;  // node faults per outage
@@ -98,6 +112,14 @@ struct SoakReport {
   /// after repair shows up as healed_ok_rate >= faulted_ok_rate.
   double faulted_ok_rate = 0.0;
   double healed_ok_rate = 0.0;
+
+  /// Completed-OK answers per wall second — the goodput a closed-loop run
+  /// sustains (also meaningful for open-loop runs, where it additionally
+  /// reflects door/gate shedding).
+  [[nodiscard]] double goodput_qps() const noexcept {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(ok) / wall_seconds;
+  }
 
   /// One row per epoch plus a "total" row.
   [[nodiscard]] std::string to_csv() const;

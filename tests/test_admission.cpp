@@ -175,47 +175,97 @@ TEST(AdmissionGate, ConcurrentAdmitsNeverExceedTheBound) {
   EXPECT_EQ(gate.in_flight(), 0u);
 }
 
+TEST(AdmissionGate, ShedOnOverloadShedsAndProbesReopenTheGate) {
+  AdmissionConfig config;
+  config.ewma_alpha = 1.0;  // EWMA == last sample, exact assertions
+  config.overload_latency_us = 10.0;
+  config.shed_on_overload = true;
+  config.probe_interval = 4;
+  AdmissionGate gate{config};
+
+  // Healthy gate admits normally (not degraded).
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+
+  gate.record_latency(1000.0);
+  ASSERT_TRUE(gate.overloaded());
+
+  // Overloaded + shed_on_overload: decisions shed instead of degrading...
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kShed);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kShed);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kShed);
+  // ...except every probe_interval-th consecutive shed decision, which is
+  // admitted degraded as the half-open probe. This is the recovery path:
+  // without it a 100%-shedding gate would never see another completion.
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr),
+            AdmissionVerdict::kAdmittedDegraded);
+  gate.release();
+
+  // The probe completed fast: the gate must reopen off that one completion
+  // alone — no overloaded() read in between, pinning the eager fold on the
+  // completion path while the overload flag is set.
+  gate.record_latency(1.0);
+  EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kAdmitted);
+  EXPECT_FALSE(gate.overloaded());
+}
+
+TEST(AdmissionGate, ProbeIntervalZeroDisablesProbing) {
+  AdmissionConfig config;
+  config.ewma_alpha = 1.0;
+  config.overload_latency_us = 10.0;
+  config.shed_on_overload = true;
+  config.probe_interval = 0;
+  AdmissionGate gate{config};
+  gate.record_latency(1000.0);
+  ASSERT_TRUE(gate.overloaded());
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(gate.admit(Deadline{}, nullptr), AdmissionVerdict::kShed);
+  }
+}
+
 TEST(CircuitBreaker, DisabledBreakerNeverShortCircuits) {
   CircuitBreaker breaker{0};
   EXPECT_FALSE(breaker.enabled());
-  for (int i = 0; i < 10; ++i) breaker.record(1, 2, 0, /*disconnected=*/true);
-  EXPECT_FALSE(breaker.should_short_circuit(1, 2, 0));
+  for (int i = 0; i < 10; ++i) breaker.record(1, 2, /*disconnected=*/true);
+  EXPECT_FALSE(breaker.should_short_circuit(1, 2));
   EXPECT_EQ(breaker.trips(), 0u);
 }
 
 TEST(CircuitBreaker, OpensAtTheThresholdWithinOneEpoch) {
   CircuitBreaker breaker{3};
-  breaker.record(1, 2, 0, true);
-  breaker.record(1, 2, 0, true);
-  EXPECT_FALSE(breaker.should_short_circuit(1, 2, 0));  // streak 2 < 3
-  breaker.record(1, 2, 0, true);
-  EXPECT_TRUE(breaker.should_short_circuit(1, 2, 0));
+  breaker.record(1, 2, true);
+  breaker.record(1, 2, true);
+  EXPECT_FALSE(breaker.should_short_circuit(1, 2));  // streak 2 < 3
+  breaker.record(1, 2, true);
+  EXPECT_TRUE(breaker.should_short_circuit(1, 2));
   EXPECT_EQ(breaker.trips(), 1u);
   // A different pair is unaffected.
-  EXPECT_FALSE(breaker.should_short_circuit(2, 1, 0));
+  EXPECT_FALSE(breaker.should_short_circuit(2, 1));
 }
 
 TEST(CircuitBreaker, SuccessResetsTheStreak) {
   CircuitBreaker breaker{2};
-  breaker.record(7, 9, 0, true);
-  breaker.record(7, 9, 0, false);  // connectivity came back mid-streak
-  breaker.record(7, 9, 0, true);
-  EXPECT_FALSE(breaker.should_short_circuit(7, 9, 0));
+  breaker.record(7, 9, true);
+  breaker.record(7, 9, false);  // connectivity came back mid-streak
+  breaker.record(7, 9, true);
+  EXPECT_FALSE(breaker.should_short_circuit(7, 9));
   EXPECT_EQ(breaker.trips(), 0u);
 }
 
 TEST(CircuitBreaker, EpochAdvanceGivesThePairAFreshChance) {
   CircuitBreaker breaker{2};
-  breaker.record(3, 4, 0, true);
-  breaker.record(3, 4, 0, true);
-  ASSERT_TRUE(breaker.should_short_circuit(3, 4, 0));
-  // The fault landscape changed: the open breaker from epoch 0 must not
-  // short-circuit epoch 1 queries, and the streak restarts.
-  EXPECT_FALSE(breaker.should_short_circuit(3, 4, 1));
-  breaker.record(3, 4, 1, true);
-  EXPECT_FALSE(breaker.should_short_circuit(3, 4, 1));
-  breaker.record(3, 4, 1, true);
-  EXPECT_TRUE(breaker.should_short_circuit(3, 4, 1));
+  breaker.record(3, 4, true);
+  breaker.record(3, 4, true);
+  ASSERT_TRUE(breaker.should_short_circuit(3, 4));
+  // The fault landscape changed: the open breaker from the old epoch must
+  // not short-circuit new queries, and the streak restarts. The advance is
+  // wait-free; the stale entry resets lazily on its next touch.
+  breaker.advance_fault_epoch();
+  EXPECT_EQ(breaker.fault_epoch(), 1u);
+  EXPECT_FALSE(breaker.should_short_circuit(3, 4));
+  breaker.record(3, 4, true);
+  EXPECT_FALSE(breaker.should_short_circuit(3, 4));
+  breaker.record(3, 4, true);
+  EXPECT_TRUE(breaker.should_short_circuit(3, 4));
   EXPECT_EQ(breaker.trips(), 2u);
 }
 
@@ -227,8 +277,8 @@ TEST(CircuitBreaker, ConcurrentRecordsReachTheThresholdOnce) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 500; ++i) {
-        breaker.record(t, t + 1, 0, true);
-        (void)breaker.should_short_circuit(t, t + 1, 0);
+        breaker.record(t, t + 1, true);
+        (void)breaker.should_short_circuit(t, t + 1);
       }
     });
   }
@@ -236,7 +286,7 @@ TEST(CircuitBreaker, ConcurrentRecordsReachTheThresholdOnce) {
   // One trip per pair: the open breaker must not re-trip on every record.
   EXPECT_EQ(breaker.trips(), kThreads);
   for (std::size_t t = 0; t < kThreads; ++t) {
-    EXPECT_TRUE(breaker.should_short_circuit(t, t + 1, 0));
+    EXPECT_TRUE(breaker.should_short_circuit(t, t + 1));
   }
 }
 

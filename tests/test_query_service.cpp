@@ -518,13 +518,13 @@ TEST(PathService, BreakerShortCircuitsRepeatedDisconnectsUntilEpochAdvance) {
   EXPECT_NE(back.level, DegradationLevel::kDisconnected);
 }
 
-TEST(PathService, OutcomeCountersLandInTheGlobalMetricRegistry) {
+TEST(PathService, OutcomeCountersLandInServiceStatsNotTheRegistry) {
+  // PR 8 shed-fast contract: shed/timed-out totals are per-thread striped
+  // ServiceStats tallies — the rejection path writes NO registry counters
+  // and NO histograms. Breaker events happen on the (already admitted)
+  // fault-aware path, so those registry counters remain.
   const HhcTopology net{2};
   auto& registry = obs::MetricRegistry::global();
-  const std::uint64_t shed_before =
-      registry.counter(obs::stages::kShedCount).get();
-  const std::uint64_t timeout_before =
-      registry.counter(obs::stages::kTimedOutCount).get();
 
   PathServiceConfig config;
   config.admission.breaker_threshold = 1;
@@ -532,7 +532,7 @@ TEST(PathService, OutcomeCountersLandInTheGlobalMetricRegistry) {
 
   PairQuery expired{.s = 0, .t = 60};
   expired.deadline = util::Deadline::after_micros(0.0);
-  (void)service.answer(expired);
+  (void)service.answer(expired);  // admission-time expiry: kTimedOut once
 
   core::FaultModel faults;
   faults.fail_node(60);
@@ -540,9 +540,13 @@ TEST(PathService, OutcomeCountersLandInTheGlobalMetricRegistry) {
   (void)service.answer(dead);  // trips the breaker (threshold 1)
   (void)service.answer(dead);  // short-circuits to kShed
 
-  EXPECT_EQ(registry.counter(obs::stages::kShedCount).get(), shed_before + 1);
-  EXPECT_EQ(registry.counter(obs::stages::kTimedOutCount).get(),
-            timeout_before + 1);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queries, 3u);
+  // The admission-time expiry did no admitted work: only the two
+  // fault-aware answers show up in the service-time histogram.
+  EXPECT_EQ(stats.latency.count, 2u);
   EXPECT_GE(registry.counter(obs::stages::kBreakerTripCount).get(), 1u);
   EXPECT_GE(registry.counter(obs::stages::kBreakerShortCircuitCount).get(),
             1u);

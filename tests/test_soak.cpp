@@ -119,6 +119,42 @@ TEST(Soak, DoorShedsKickInWhenTheArrivalQueueIsBounded) {
   EXPECT_EQ(report.stuck, 0u);
 }
 
+TEST(Soak, ClosedLoopAccountsEveryArrivalWithNoDoorSheds) {
+  SoakConfig config = base_config();
+  config.closed_loop = true;
+  config.workers = 4;
+  const SoakReport report = run_soak(config);
+  EXPECT_EQ(report.stuck, 0u);
+  EXPECT_EQ(report.door_shed, 0u);  // issue-on-completion never door-sheds
+  EXPECT_EQ(report.completed, report.offered);
+  EXPECT_EQ(report.ok + report.shed + report.timed_out, report.completed);
+  EXPECT_GT(report.goodput_qps(), 0.0);
+}
+
+TEST(Soak, ClosedLoopConsumesTheSameSeededQueryStream) {
+  // Both arrival models draw (s, t) pairs from the seeded RNG in the same
+  // order, so single-stream closed-loop and single-worker open-loop runs
+  // of one seed answer the SAME queries — the outcome mix (which ignores
+  // timing) must match exactly when nothing sheds or expires.
+  SoakConfig open = base_config();
+  open.workers = 1;
+  open.admission.breaker_threshold = 2;
+  SoakConfig closed = open;
+  closed.closed_loop = true;
+
+  const SoakReport a = run_soak(open);
+  const SoakReport b = run_soak(closed);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.disconnected, b.disconnected);
+  EXPECT_EQ(a.breaker_trips, b.breaker_trips);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].faults_active, b.epochs[i].faults_active);
+    EXPECT_EQ(a.epochs[i].ok, b.epochs[i].ok);
+    EXPECT_EQ(a.epochs[i].disconnected, b.epochs[i].disconnected);
+  }
+}
+
 TEST(Soak, ReportRendersCsvAndJson) {
   SoakConfig config = base_config();
   config.epochs = 2;
@@ -137,6 +173,8 @@ TEST(Soak, ReportRendersCsvAndJson) {
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"stuck\":0"), std::string::npos);
   EXPECT_NE(json.find("\"healed_ok_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"closed_loop\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_qps\""), std::string::npos);
 }
 
 }  // namespace
